@@ -1,0 +1,247 @@
+package doram
+
+// One benchmark per table/figure of the paper's evaluation (§V), plus
+// micro-benchmarks of the core primitives. The figure benches run the
+// corresponding experiment harness at reduced scale; use cmd/experiments
+// for full-scale regeneration.
+
+import (
+	"testing"
+
+	"doram/internal/addrmap"
+	"doram/internal/dram"
+	"doram/internal/experiments"
+	"doram/internal/mc"
+	"doram/internal/oram"
+	"doram/internal/oram/ring"
+	"doram/internal/otp"
+	"doram/internal/trace"
+)
+
+func benchOpts() experiments.Options {
+	o := experiments.QuickOptions()
+	o.TraceLen = 1500
+	return o
+}
+
+// BenchmarkTableI regenerates Table I (analytic; no simulation).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows, _ := experiments.TableI(); len(rows) != 3 {
+			b.Fatal("table I incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (co-run slowdowns).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (per-channel latency balance).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure8(benchOpts(), "black"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (normalized NS execution time).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure9(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (tree expansion overhead).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure10(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (secure-channel sharing sweep).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure11(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12 (profiling-guided c selection).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure12(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13 regenerates Figure 13 (NS access latency reduction).
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure13(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSAppImpact regenerates the §V-E S-App latency study.
+func BenchmarkSAppImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.SAppImpact(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalORAMAccess measures one functional Path ORAM access
+// (read + reshuffle + re-encrypt) at a 16 MB tree.
+func BenchmarkFunctionalORAMAccess(b *testing.B) {
+	cfg := DefaultORAMConfig()
+	cfg.Levels = 14
+	o, err := NewORAM(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := []byte("payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) % (o.Capacity() / 2)
+		if err := o.Write(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplerAccess measures address-trace generation at the paper's
+// full L=23 scale (the hot path of the timing simulator).
+func BenchmarkSamplerAccess(b *testing.B) {
+	s := oram.NewSampler(oram.PaperParams(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := s.Access(uint64(i) % (1 << 24))
+		if len(tr.ReadNodes) != 21 {
+			b.Fatal("bad trace")
+		}
+	}
+}
+
+// BenchmarkSimulateDORAM measures one full D-ORAM co-run simulation at
+// reduced trace length.
+func BenchmarkSimulateDORAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSimConfig(SchemeDORAM, "libq")
+		cfg.TraceLen = 1000
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingORAMAccess measures one Ring ORAM access (single-slot
+// online reads plus amortized eviction) for comparison with
+// BenchmarkFunctionalORAMAccess.
+func BenchmarkRingORAMAccess(b *testing.B) {
+	c, err := ring.New(ring.DefaultParams(14), []byte("0123456789abcdef"), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Access(oram.OpWrite, uint64(i)%1000, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOTPSeal measures sealing one 72-byte BOB packet (Eq. 1).
+func BenchmarkOTPSeal(b *testing.B) {
+	tx, err := otp.NewEngine([]byte("0123456789abcdef"), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := make([]byte, 72)
+	b.SetBytes(72)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Seal(pkt)
+	}
+}
+
+// BenchmarkMerkleVerifyPath measures one path verification on an L=15
+// hash tree.
+func BenchmarkMerkleVerifyPath(b *testing.B) {
+	p := oram.Params{Levels: 15, Z: 4, BlockSize: 64, TopCacheLevels: 0, StashCapacity: 100}
+	m := oram.NewMerkle(p)
+	cts := make([][]byte, p.Levels+1)
+	for i := range cts {
+		cts[i] = make([]byte, 256)
+	}
+	if err := m.UpdatePath(5, cts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.VerifyPath(5, cts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecursiveMapLookup measures one position lookup through a
+// two-level recursive map.
+func BenchmarkRecursiveMapLookup(b *testing.B) {
+	rm, err := oram.NewRecursiveMap(oram.DefaultRecursiveMapConfig(1 << 18))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm.Set(uint64(i)%1000, uint64(i))
+		if rm.Get(uint64(i)%1000) != uint64(i) {
+			b.Fatal("lookup mismatch")
+		}
+	}
+}
+
+// BenchmarkDRAMChannelCycle measures one memory-controller tick under a
+// steady request stream (the simulator's hot loop).
+func BenchmarkDRAMChannelCycle(b *testing.B) {
+	cfg := mc.DefaultConfig()
+	cfg.RefreshEnabled = false
+	ctrl := mc.New(dram.NewChannel(dram.DDR31600(), 1, 8), cfg)
+	now := uint64(0)
+	i := 0
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if r, _ := ctrl.QueueLen(); r < 16 {
+			ctrl.Enqueue(&mc.Request{Op: mc.OpRead,
+				Coord: addrmap.Coord{Bank: i % 8, Row: int64(i % 64), Col: i % 128}}, now)
+			i++
+		}
+		ctrl.Tick(now)
+		now++
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic trace record production.
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec, _ := trace.ByName("face")
+	g := trace.NewGenerator(spec, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,86 @@
+// Command doramsim runs one co-run simulation of the D-ORAM system model
+// and prints a summary.
+//
+// Usage:
+//
+//	doramsim -scheme d-oram -bench face
+//	doramsim -scheme path-oram -bench libq -trace 20000
+//	doramsim -scheme d-oram -bench mummer -k 1 -c 4
+//	doramsim -scheme non-secure -bench black -ns 7 -channels 1,2,3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"doram"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "d-oram", "non-secure, path-oram, secure-memory, d-oram")
+		bench    = flag.String("bench", "face", "benchmark (Table III): "+strings.Join(doram.Benchmarks(), ", "))
+		numNS    = flag.Int("ns", 7, "number of NS-App copies")
+		k        = flag.Int("k", 0, "D-ORAM tree split depth (0-3)")
+		c        = flag.Int("c", -1, "NS-Apps allowed on the secure channel (-1 = all)")
+		traceLen = flag.Uint64("trace", 8000, "memory accesses per core")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		channels = flag.String("channels", "", "NS channel subset, e.g. 1,2,3")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		traceDir = flag.String("tracedir", "", "replay recorded traces from this directory (tracegen -o)")
+	)
+	flag.Parse()
+
+	cfg := doram.DefaultSimConfig(doram.Scheme(*scheme), *bench)
+	cfg.NumNS = *numNS
+	cfg.SplitK = *k
+	cfg.SecureSharers = *c
+	cfg.TraceLen = *traceLen
+	cfg.Seed = *seed
+	cfg.TraceDir = *traceDir
+	if *channels != "" {
+		for _, s := range strings.Split(*channels, ",") {
+			ch, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doramsim: bad channel %q\n", s)
+				os.Exit(2)
+			}
+			cfg.NSChannels = append(cfg.NSChannels, ch)
+		}
+	}
+
+	res, err := doram.Simulate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scheme=%s benchmark=%s ns=%d k=%d c=%d trace=%d\n",
+		*scheme, *bench, *numNS, *k, *c, *traceLen)
+	fmt.Printf("  NS execution time (avg):  %.0f cycles\n", res.AvgNSExecCycles)
+	for i, f := range res.NSFinish {
+		fmt.Printf("    NS core %d: %d cycles\n", i, f)
+	}
+	fmt.Printf("  NS read latency:          %.1f ns (p50<=%.0f p95<=%.0f p99<=%.0f)\n",
+		res.NSReadLatencyNs, res.NSReadP50Ns, res.NSReadP95Ns, res.NSReadP99Ns)
+	fmt.Printf("  NS write latency:         %.1f ns\n", res.NSWriteLatencyNs)
+	if res.ORAMAccesses > 0 {
+		fmt.Printf("  ORAM accesses completed:  %d\n", res.ORAMAccesses)
+		fmt.Printf("  ORAM access time:         %.0f ns\n", res.ORAMAccessNs)
+	}
+	fmt.Printf("  DRAM energy:              %.1f uJ\n", res.TotalEnergyUJ)
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of §V of "D-ORAM" (HPCA 2018).
+//
+// Usage:
+//
+//	experiments                      # run everything at default scale
+//	experiments -exp fig9            # one experiment
+//	experiments -exp fig4 -quick     # reduced sweep
+//	experiments -trace 20000         # longer traces (slower, steadier)
+//	experiments -benches black,libq  # workload subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"doram"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: all, "+strings.Join(doram.Experiments(), ", "))
+		quick   = flag.Bool("quick", false, "reduced sweep (3 benchmarks, short traces)")
+		trace   = flag.Uint64("trace", 0, "memory accesses per core per run (0 = default)")
+		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		benches = flag.String("benches", "", "comma-separated benchmark subset")
+		asCSV   = flag.Bool("csv", false, "emit data tables as CSV instead of text")
+	)
+	flag.Parse()
+
+	opts := doram.ExperimentOptions{Quick: *quick, TraceLen: *trace, Seed: *seed}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	ids := doram.Experiments()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		run := doram.RunExperiment
+		if *asCSV {
+			run = doram.RunExperimentCSV
+		}
+		out, err := run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		if !*asCSV {
+			fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

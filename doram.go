@@ -1,0 +1,179 @@
+// Package doram is a from-scratch reproduction of "D-ORAM: Path-ORAM
+// Delegation for Low Execution Interference on Cloud Servers with
+// Untrusted Memory" (Wang, Zhang, Yang — HPCA 2018).
+//
+// The package exposes three layers:
+//
+//   - A functional Path ORAM (ORAM): real encrypted storage with a stash,
+//     position map and per-access reshuffling, suitable for protecting
+//     access patterns of an in-memory block store.
+//   - A cycle-level co-run simulator (Simulate): trace-driven ROB cores
+//     over a DDR3-1600 memory system under the paper's protection schemes
+//     (Path ORAM baseline, secure-memory model, and D-ORAM with its +k
+//     tree split and /c secure-channel sharing).
+//   - The paper's evaluation (RunExperiment): regenerates every table and
+//     figure of §V.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper's numbers.
+package doram
+
+import (
+	"fmt"
+
+	"doram/internal/oram"
+)
+
+// ORAMConfig configures a functional Path ORAM instance.
+type ORAMConfig struct {
+	// Levels is L: the tree has L+1 levels and 2^L leaves. A functional
+	// instance allocates O(2^L * Z * BlockSize) bytes; L in [10, 20] is
+	// practical in memory. The paper's hardware configuration is L=23.
+	Levels int
+	// Z is the bucket size in blocks (paper: 4).
+	Z int
+	// BlockSize is the payload bytes per block (paper: 64, one cache line).
+	BlockSize int
+	// TopCacheLevels caches the top of the tree in the controller
+	// (paper: 3).
+	TopCacheLevels int
+	// StashCapacity bounds the stash (a few hundred suffices at 50% load).
+	StashCapacity int
+	// Key is the 16-byte AES key for bucket encryption.
+	Key []byte
+	// WithMAC adds per-bucket authentication tags (trusted version
+	// counters defeat replay).
+	WithMAC bool
+	// MerkleIntegrity protects the tree with a hash tree instead: only
+	// the root hash needs trusted storage, the construction a real
+	// silicon-constrained delegator would use.
+	MerkleIntegrity bool
+	// RecursivePositionMap stores the position map itself in smaller
+	// ORAMs (Stefanov et al.'s recursion) instead of trusted memory;
+	// each access then costs extra map-ORAM accesses.
+	RecursivePositionMap bool
+	// Seed drives remapping; runs with equal seeds are identical.
+	Seed uint64
+}
+
+// DefaultORAMConfig returns a 64 MB-scale functional instance with the
+// paper's Z, block size and tree-top caching.
+func DefaultORAMConfig() ORAMConfig {
+	return ORAMConfig{
+		Levels:         16,
+		Z:              4,
+		BlockSize:      64,
+		TopCacheLevels: 3,
+		StashCapacity:  400,
+		Key:            []byte("doram-default-k!"),
+		WithMAC:        true,
+		Seed:           1,
+	}
+}
+
+// ORAM is a functional Path ORAM block store: every Read or Write touches
+// one full tree path and remaps the block, so the physical access sequence
+// is independent of the logical one.
+type ORAM struct {
+	client *oram.Client
+	recmap *oram.RecursiveMap
+}
+
+// NewORAM builds a functional Path ORAM with in-memory untrusted storage.
+func NewORAM(cfg ORAMConfig) (*ORAM, error) {
+	p := oram.Params{
+		Levels:         cfg.Levels,
+		Z:              cfg.Z,
+		BlockSize:      cfg.BlockSize,
+		TopCacheLevels: cfg.TopCacheLevels,
+		StashCapacity:  cfg.StashCapacity,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := &ORAM{}
+	var pos oram.PositionMap
+	if cfg.RecursivePositionMap {
+		rmCfg := oram.DefaultRecursiveMapConfig(p.MaxBlocks())
+		rmCfg.Seed = cfg.Seed ^ 0xacc0
+		rm, err := oram.NewRecursiveMap(rmCfg)
+		if err != nil {
+			return nil, err
+		}
+		o.recmap = rm
+		pos = rm
+	}
+	client, err := oram.NewClientWithMap(p, oram.NewMemStorage(p.NumNodes()),
+		cfg.Key, cfg.WithMAC, cfg.Seed, pos)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MerkleIntegrity {
+		if err := client.EnableMerkle(); err != nil {
+			return nil, err
+		}
+	}
+	o.client = client
+	return o, nil
+}
+
+// PositionMapDepth returns the recursion depth of the position map (0 when
+// the map is held in trusted memory).
+func (o *ORAM) PositionMapDepth() int {
+	if o.recmap == nil {
+		return 0
+	}
+	return o.recmap.Depth()
+}
+
+// PositionMapAccesses returns the accesses performed by the recursive
+// position map's ORAMs (0 without recursion).
+func (o *ORAM) PositionMapAccesses() uint64 {
+	if o.recmap == nil {
+		return 0
+	}
+	return o.recmap.MapAccesses()
+}
+
+// Capacity returns the number of logical blocks the instance can hold at
+// the protocol's 50% space efficiency.
+func (o *ORAM) Capacity() uint64 { return o.client.Params().MaxBlocks() }
+
+// BlockSize returns the payload bytes per block.
+func (o *ORAM) BlockSize() int { return o.client.Params().BlockSize }
+
+// Read returns the content of the logical block addr. Unwritten blocks
+// read as zeros.
+func (o *ORAM) Read(addr uint64) ([]byte, error) {
+	data, _, err := o.client.Access(oram.OpRead, addr, nil)
+	return data, err
+}
+
+// Write stores data (at most BlockSize bytes, zero-padded) in block addr.
+func (o *ORAM) Write(addr uint64, data []byte) error {
+	_, _, err := o.client.Access(oram.OpWrite, addr, data)
+	return err
+}
+
+// Accesses returns the number of ORAM accesses performed.
+func (o *ORAM) Accesses() uint64 { return o.client.Accesses() }
+
+// StashHighWater returns the stash's peak occupancy — the protocol-failure
+// headroom metric.
+func (o *ORAM) StashHighWater() int { return o.client.StashMax() }
+
+// BlocksPerAccess returns the memory blocks transferred per phase of one
+// access (the bandwidth amplification the paper's motivation quantifies).
+func (o *ORAM) BlocksPerAccess() int { return o.client.Params().BlocksPerAccess() }
+
+func init() {
+	// Guard the public default against drift in internal validation.
+	if err := func() error {
+		cfg := DefaultORAMConfig()
+		p := oram.Params{Levels: cfg.Levels, Z: cfg.Z, BlockSize: cfg.BlockSize,
+			TopCacheLevels: cfg.TopCacheLevels, StashCapacity: cfg.StashCapacity}
+		return p.Validate()
+	}(); err != nil {
+		panic(fmt.Sprintf("doram: invalid default config: %v", err))
+	}
+}

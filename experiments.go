@@ -1,0 +1,135 @@
+package doram
+
+import (
+	"bytes"
+	"fmt"
+
+	"doram/internal/experiments"
+)
+
+// ExperimentOptions scales a figure/table reproduction.
+type ExperimentOptions struct {
+	// TraceLen is the memory accesses each core replays per run; 0 uses
+	// the evaluation default.
+	TraceLen uint64
+	// Seed drives all randomness.
+	Seed uint64
+	// Benchmarks restricts the workload set; nil runs all 15 (Table III).
+	Benchmarks []string
+	// Quick reduces the sweep for smoke runs and benchmarks.
+	Quick bool
+}
+
+func (o ExperimentOptions) internal() experiments.Options {
+	io := experiments.DefaultOptions()
+	if o.Quick {
+		io = experiments.QuickOptions()
+	}
+	if o.TraceLen > 0 {
+		io.TraceLen = o.TraceLen
+	}
+	if o.Seed != 0 {
+		io.Seed = o.Seed
+	}
+	if o.Benchmarks != nil {
+		io.Benchmarks = o.Benchmarks
+	}
+	return io
+}
+
+// Experiments lists the reproducible experiment identifiers: the paper's
+// tables and figures in order, then the ablation studies of the design
+// choices DESIGN.md calls out.
+func Experiments() []string {
+	return []string{
+		"table1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sapp",
+		"ablation-layout", "ablation-pace", "ablation-link", "ablation-coop", "ablation-scheduler", "ablation-memgen", "ablation-overlap", "ablation-forkpath", "oram-compare", "energy",
+	}
+}
+
+// runExperimentTable resolves an experiment id to its result table.
+func runExperimentTable(id string, o experiments.Options) (*experiments.Table, error) {
+	bench := "face"
+	if len(o.Benchmarks) > 0 {
+		bench = o.Benchmarks[0]
+	}
+	switch id {
+	case "table1":
+		_, t := experiments.TableI()
+		return t, nil
+	case "fig4":
+		_, t, err := experiments.Figure4(o)
+		return t, err
+	case "fig8":
+		if len(o.Benchmarks) == 0 {
+			bench = "black"
+		}
+		_, t, err := experiments.Figure8(o, bench)
+		return t, err
+	case "fig9":
+		_, t, err := experiments.Figure9(o)
+		return t, err
+	case "fig10":
+		_, t, err := experiments.Figure10(o)
+		return t, err
+	case "fig11":
+		_, t, err := experiments.Figure11(o)
+		return t, err
+	case "fig12":
+		_, t, err := experiments.Figure12(o)
+		return t, err
+	case "fig13":
+		_, t, err := experiments.Figure13(o)
+		return t, err
+	case "sapp":
+		_, t, err := experiments.SAppImpact(o)
+		return t, err
+	case "energy":
+		_, t, err := experiments.EnergyStudy(o)
+		return t, err
+	case "oram-compare":
+		_, t, err := experiments.ORAMCompare(12, 2000, o.Seed)
+		return t, err
+	case "ablation-layout", "ablation-pace", "ablation-link", "ablation-coop", "ablation-scheduler", "ablation-memgen", "ablation-overlap", "ablation-forkpath":
+		fns := map[string]func(experiments.Options, string) (*experiments.AblationSummary, *experiments.Table, error){
+			"ablation-layout":    experiments.AblationSubtreeLayout,
+			"ablation-pace":      experiments.AblationPace,
+			"ablation-link":      experiments.AblationLinkLatency,
+			"ablation-coop":      experiments.AblationCoopThreshold,
+			"ablation-scheduler": experiments.AblationScheduler,
+			"ablation-memgen":    experiments.AblationMemoryGen,
+			"ablation-overlap":   experiments.AblationPhaseOverlap,
+			"ablation-forkpath":  experiments.AblationForkPath,
+		}
+		_, t, err := fns[id](o, bench)
+		return t, err
+	default:
+		return nil, fmt.Errorf("doram: unknown experiment %q (want one of %v)", id, Experiments())
+	}
+}
+
+// RunExperiment regenerates one table or figure of the paper's evaluation
+// and returns its formatted text. Identifiers are those of Experiments().
+func RunExperiment(id string, opts ExperimentOptions) (string, error) {
+	t, err := runExperimentTable(id, opts.internal())
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	t.Fprint(&buf)
+	return buf.String(), nil
+}
+
+// RunExperimentCSV regenerates one experiment and returns its data table
+// as CSV (header plus rows, notes omitted) for plotting pipelines.
+func RunExperimentCSV(id string, opts ExperimentOptions) (string, error) {
+	t, err := runExperimentTable(id, opts.internal())
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := t.Fcsv(&buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}

@@ -1,0 +1,3 @@
+module doram
+
+go 1.22

@@ -1,0 +1,98 @@
+package bob
+
+import (
+	"doram/internal/clock"
+	"doram/internal/stats"
+)
+
+// LinkConfig sets the serial link's bandwidth and latency.
+type LinkConfig struct {
+	// BytesPerCPUCycle is the per-direction link bandwidth. The paper sets
+	// the serial link comparable to one DDR3-1600 parallel channel:
+	// 12.8 GB/s = 4 bytes per 3.2 GHz CPU cycle.
+	BytesPerCPUCycle float64
+	// LatencyCycles is the one-way buffer-logic-plus-link latency added to
+	// every transfer: 15 ns (Table II, from Twin-Load [10]) = 48 cycles.
+	LatencyCycles uint64
+}
+
+// DefaultLinkConfig returns the paper's link parameters.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		BytesPerCPUCycle: 4,
+		LatencyCycles:    clock.NanosToCPU(15),
+	}
+}
+
+// LinkStats aggregates per-direction link activity.
+type LinkStats struct {
+	Packets stats.Counter
+	Bytes   stats.Counter
+	Busy    stats.Counter // cycles of serialization occupancy
+}
+
+// Link is one full-duplex serial link: independent down (CPU to BOB) and
+// up (BOB to CPU) directions, each a FIFO wire that serializes packets at
+// the configured bandwidth and delivers them after the fixed latency.
+type Link struct {
+	cfg  LinkConfig
+	down direction
+	up   direction
+}
+
+type direction struct {
+	freeAt uint64
+	stats  LinkStats
+}
+
+// NewLink builds a link. It panics on non-positive bandwidth, a
+// configuration programming error.
+func NewLink(cfg LinkConfig) *Link {
+	if cfg.BytesPerCPUCycle <= 0 {
+		panic("bob: link bandwidth must be positive")
+	}
+	return &Link{cfg: cfg}
+}
+
+// occupancy returns the serialization time of a packet of n bytes.
+func (l *Link) occupancy(n int) uint64 {
+	c := uint64(float64(n)/l.cfg.BytesPerCPUCycle + 0.999999)
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// send models one transfer on a direction and returns the delivery cycle.
+func (l *Link) send(d *direction, n int, now uint64) uint64 {
+	start := now
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	occ := l.occupancy(n)
+	d.freeAt = start + occ
+	d.stats.Packets.Inc()
+	d.stats.Bytes.Add(uint64(n))
+	d.stats.Busy.Add(occ)
+	return d.freeAt + l.cfg.LatencyCycles
+}
+
+// SendDown transmits n bytes toward the BOB unit at CPU cycle now and
+// returns the arrival cycle.
+func (l *Link) SendDown(n int, now uint64) uint64 { return l.send(&l.down, n, now) }
+
+// SendUp transmits n bytes toward the CPU at CPU cycle now and returns the
+// arrival cycle.
+func (l *Link) SendUp(n int, now uint64) uint64 { return l.send(&l.up, n, now) }
+
+// DownStats returns statistics for the CPU-to-BOB direction.
+func (l *Link) DownStats() *LinkStats { return &l.down.stats }
+
+// UpStats returns statistics for the BOB-to-CPU direction.
+func (l *Link) UpStats() *LinkStats { return &l.up.stats }
+
+// DownFreeAt returns when the down direction finishes its current transfer.
+func (l *Link) DownFreeAt() uint64 { return l.down.freeAt }
+
+// UpFreeAt returns when the up direction finishes its current transfer.
+func (l *Link) UpFreeAt() uint64 { return l.up.freeAt }

@@ -1,0 +1,97 @@
+// Package bob models the buffer-on-board memory architecture: the narrow,
+// fast serial link between the processor's main memory controller and the
+// on-board simple controller, the 72-byte packets that traverse it, and
+// the simple controller that drives commodity DIMM sub-channels on the far
+// side (§II-A, §III-A of the paper).
+package bob
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Packet sizes on the serial link (§III-B, §III-C).
+const (
+	// FullPacketBytes is the request/response packet: 1-bit type, 63-bit
+	// address, 64 B data — always carrying a data field so reads and
+	// writes are indistinguishable on the wire.
+	FullPacketBytes = 72
+	// ShortReadBytes is the header-only read packet used for cross-channel
+	// tree-split fetches, where omitting the data field is safe because
+	// the optimization's message types are public.
+	ShortReadBytes = 8
+)
+
+// Kind classifies link packets.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindRequest   Kind = iota // CPU -> BOB full packet
+	KindResponse              // BOB -> CPU full packet
+	KindShortRead             // header-only read (tree split)
+	KindWriteFwd              // forwarded write for relocated tree levels
+)
+
+// String names the packet kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindShortRead:
+		return "short-read"
+	case KindWriteFwd:
+		return "write-fwd"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Bytes returns the wire size of a packet of this kind.
+func (k Kind) Bytes() int {
+	if k == KindShortRead {
+		return ShortReadBytes
+	}
+	return FullPacketBytes
+}
+
+// Packet is the functional BOB packet: a type bit, a 63-bit address and a
+// 64-byte data field (dummy bits for reads, §III-B item 1).
+type Packet struct {
+	Write bool
+	Addr  uint64 // must fit in 63 bits
+	Data  [64]byte
+}
+
+// ErrPacketSize is returned when unmarshalling a wrong-size buffer.
+var ErrPacketSize = errors.New("bob: packet must be 72 bytes")
+
+// Marshal serializes the packet into its 72-byte wire format. It panics if
+// the address exceeds 63 bits, a programming error.
+func (p Packet) Marshal() []byte {
+	if p.Addr>>63 != 0 {
+		panic("bob: address exceeds 63 bits")
+	}
+	buf := make([]byte, FullPacketBytes)
+	head := p.Addr << 1
+	if p.Write {
+		head |= 1
+	}
+	binary.LittleEndian.PutUint64(buf[0:8], head)
+	copy(buf[8:], p.Data[:])
+	return buf
+}
+
+// Unmarshal parses a 72-byte wire packet.
+func Unmarshal(buf []byte) (Packet, error) {
+	if len(buf) != FullPacketBytes {
+		return Packet{}, ErrPacketSize
+	}
+	head := binary.LittleEndian.Uint64(buf[0:8])
+	p := Packet{Write: head&1 == 1, Addr: head >> 1}
+	copy(p.Data[:], buf[8:])
+	return p, nil
+}

@@ -1,0 +1,151 @@
+package bob
+
+import (
+	"doram/internal/addrmap"
+	"doram/internal/clock"
+	"doram/internal/mc"
+	"doram/internal/stats"
+)
+
+// NSRequest is one non-secure application access crossing the serial link
+// to a BOB channel.
+type NSRequest struct {
+	Write bool
+	// Coord locates the line on this channel; Coord.Bus is the local
+	// sub-channel index.
+	Coord addrmap.Coord
+	AppID int
+	// OnDone fires for reads when the response packet reaches the CPU
+	// (CPU cycles). Writes are posted and have no response.
+	OnDone func(cpuCycle uint64)
+	// OnWriteDrained, if set on a write, fires when the data reaches the
+	// DRAM device (CPU cycles, no response packet) — used for latency
+	// accounting only.
+	OnWriteDrained func(cpuCycle uint64)
+}
+
+// CtrlStats aggregates simple-controller behaviour.
+type CtrlStats struct {
+	Submitted stats.Counter
+	Rejected  stats.Counter
+	Forwarded stats.Counter // packets moved into a sub-channel controller
+}
+
+type arrivedReq struct {
+	req     *NSRequest
+	readyAt uint64 // CPU cycle the packet finishes arriving at the BOB
+}
+
+// SimpleController is the on-board half of one BOB channel: it receives
+// request packets over the serial link, queues them, issues them to its
+// sub-channel memory controllers with JEDEC-compliant timing, and returns
+// response packets. The secure delegator of D-ORAM shares this
+// controller's link and sub-channels (package delegator).
+type SimpleController struct {
+	link *Link
+	subs []*mc.Controller
+
+	inQ    []arrivedReq
+	inQCap int
+
+	stats CtrlStats
+}
+
+// NewSimpleController builds a controller over the given link and
+// sub-channel memory controllers. inQCap bounds the on-board request
+// buffer (back-pressure to the CPU when full).
+func NewSimpleController(link *Link, subs []*mc.Controller, inQCap int) *SimpleController {
+	if len(subs) == 0 {
+		panic("bob: simple controller needs at least one sub-channel")
+	}
+	if inQCap < 1 {
+		panic("bob: input queue capacity must be positive")
+	}
+	return &SimpleController{link: link, subs: subs, inQCap: inQCap}
+}
+
+// Link returns the channel's serial link (shared with the SD on the
+// secure channel).
+func (s *SimpleController) Link() *Link { return s.link }
+
+// SubChannels returns the sub-channel controllers.
+func (s *SimpleController) SubChannels() []*mc.Controller { return s.subs }
+
+// Stats returns controller statistics.
+func (s *SimpleController) Stats() *CtrlStats { return &s.stats }
+
+// Submit sends a request packet from the CPU's main controller at CPU
+// cycle now. It returns false when the on-board buffer is full.
+func (s *SimpleController) Submit(r *NSRequest, now uint64) bool {
+	if len(s.inQ) >= s.inQCap {
+		s.stats.Rejected.Inc()
+		return false
+	}
+	arrival := s.link.SendDown(FullPacketBytes, now)
+	s.inQ = append(s.inQ, arrivedReq{req: r, readyAt: arrival})
+	s.stats.Submitted.Inc()
+	return true
+}
+
+// Tick advances the controller at a memory-clock edge (cpuNow must satisfy
+// clock.IsMemEdge). It forwards arrived packets into sub-channel queues
+// and ticks the DRAM controllers.
+func (s *SimpleController) Tick(cpuNow uint64) {
+	memNow := clock.ToMem(cpuNow)
+	keep := s.inQ[:0]
+	for _, a := range s.inQ {
+		if a.readyAt > cpuNow {
+			keep = append(keep, a)
+			continue
+		}
+		if !s.forward(a.req, memNow) {
+			keep = append(keep, a) // sub-channel queue full; retry
+		}
+	}
+	s.inQ = append(s.inQ[:0], keep...)
+	for _, sub := range s.subs {
+		sub.Tick(memNow)
+	}
+}
+
+// forward moves one request into its sub-channel controller.
+func (s *SimpleController) forward(r *NSRequest, memNow uint64) bool {
+	sub := s.subs[r.Coord.Bus]
+	op := mc.OpRead
+	if r.Write {
+		op = mc.OpWrite
+	}
+	req := &mc.Request{Op: op, Coord: r.Coord, AppID: r.AppID}
+	if !r.Write && r.OnDone != nil {
+		onDone := r.OnDone
+		req.OnComplete = func(_ *mc.Request, memDone uint64) {
+			// Response packet back over the link.
+			arrive := s.link.SendUp(FullPacketBytes, clock.ToCPU(memDone))
+			onDone(arrive)
+		}
+	}
+	if r.Write && r.OnWriteDrained != nil {
+		onDrained := r.OnWriteDrained
+		req.OnComplete = func(_ *mc.Request, memDone uint64) {
+			onDrained(clock.ToCPU(memDone))
+		}
+	}
+	if !sub.Enqueue(req, memNow) {
+		return false
+	}
+	s.stats.Forwarded.Inc()
+	return true
+}
+
+// Idle reports whether no packets are queued and all sub-channels drained.
+func (s *SimpleController) Idle() bool {
+	if len(s.inQ) > 0 {
+		return false
+	}
+	for _, sub := range s.subs {
+		if !sub.Idle() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(4<<20, 16, 64)
+	if got := c.Access(0x1000, false); got.Hit {
+		t.Fatal("cold access hit")
+	}
+	if got := c.Access(0x1000, false); !got.Hit {
+		t.Fatal("second access missed")
+	}
+	if got := c.Access(0x1000+32, false); !got.Hit {
+		t.Fatal("same-line offset access missed")
+	}
+	if got := c.Access(0x1000+64, false); got.Hit {
+		t.Fatal("next line hit without fill")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Direct addresses into one set: set 0 of a 2-way cache with 64B lines.
+	c := New(4*64*2, 2, 64) // 4 sets, 2 ways
+	stride := uint64(4 * 64)
+	a, b, d := uint64(0), stride, 2*stride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a now MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Fatal("MRU line a evicted")
+	}
+	if c.Contains(b) {
+		t.Fatal("LRU line b survived")
+	}
+	if !c.Contains(d) {
+		t.Fatal("newly filled line d missing")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c := New(2*64*1, 1, 64) // 2 sets, direct-mapped
+	stride := uint64(2 * 64)
+	c.Access(0, true) // dirty fill
+	res := c.Access(stride, false)
+	if !res.Writeback || res.VictimAddr != 0 {
+		t.Fatalf("eviction of dirty line: %+v, want writeback of addr 0", res)
+	}
+	// Clean eviction produces no writeback.
+	res = c.Access(2*stride, false)
+	if res.Writeback {
+		t.Fatalf("clean eviction produced writeback: %+v", res)
+	}
+	if c.Stats().Writebacks.Value() != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks.Value())
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(1<<20, 8, 64)
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+	if got := c.Stats().MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	cases := []struct {
+		size  uint64
+		assoc int
+		line  uint64
+	}{
+		{0, 16, 64},
+		{4 << 20, 0, 64},
+		{4 << 20, 16, 0},
+		{3 * 64 * 16, 16, 64}, // 3 sets: not a power of two
+	}
+	for i, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad geometry accepted", i)
+				}
+			}()
+			New(tc.size, tc.assoc, tc.line)
+		}()
+	}
+}
+
+// TestPropertyInclusionAfterAccess: any just-accessed address must be
+// resident, and hits+misses must equal accesses.
+func TestPropertyInclusionAfterAccess(t *testing.T) {
+	c := New(1<<16, 4, 64)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a), a%2 == 0)
+			if !c.Contains(uint64(a)) {
+				return false
+			}
+		}
+		s := c.Stats()
+		return s.Hits.Value()+s.Misses.Value() == s.Accesses.Value()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

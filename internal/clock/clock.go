@@ -1,0 +1,29 @@
+// Package clock fixes the simulation's two clock domains: CPU cycles at
+// 3.2 GHz (the global simulation clock) and DDR3-1600 memory-bus cycles at
+// 800 MHz. The ratio is exactly 4, so conversions are lossless in the
+// CPU-to-memory direction used by the controllers.
+package clock
+
+// Clock rates of the paper's configuration (Table II).
+const (
+	CPUHz = 3.2e9
+	MemHz = 800e6
+
+	// CPUPerMem is the CPU cycles per memory-bus cycle.
+	CPUPerMem = 4
+)
+
+// ToMem converts a CPU-cycle timestamp to memory cycles (floor).
+func ToMem(cpu uint64) uint64 { return cpu / CPUPerMem }
+
+// ToCPU converts a memory-cycle timestamp to CPU cycles.
+func ToCPU(mem uint64) uint64 { return mem * CPUPerMem }
+
+// IsMemEdge reports whether the CPU cycle falls on a memory clock edge.
+func IsMemEdge(cpu uint64) bool { return cpu%CPUPerMem == 0 }
+
+// NanosToCPU converts a duration in nanoseconds to CPU cycles (rounded).
+func NanosToCPU(ns float64) uint64 { return uint64(ns*CPUHz/1e9 + 0.5) }
+
+// CPUToNanos converts CPU cycles to nanoseconds.
+func CPUToNanos(c uint64) float64 { return float64(c) / CPUHz * 1e9 }

@@ -1,0 +1,46 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatios(t *testing.T) {
+	if CPUPerMem != 4 {
+		t.Fatalf("CPUPerMem = %d; DDR3-1600 under a 3.2 GHz core is exactly 4", CPUPerMem)
+	}
+	if CPUHz/MemHz != CPUPerMem {
+		t.Fatal("clock constants inconsistent")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if ToMem(17) != 4 {
+		t.Fatalf("ToMem(17) = %d", ToMem(17))
+	}
+	if ToCPU(4) != 16 {
+		t.Fatalf("ToCPU(4) = %d", ToCPU(4))
+	}
+	if !IsMemEdge(8) || IsMemEdge(9) {
+		t.Fatal("IsMemEdge wrong")
+	}
+}
+
+func TestNanosRoundTrip(t *testing.T) {
+	// 15 ns at 3.2 GHz is 48 cycles (the paper's BOB link latency).
+	if got := NanosToCPU(15); got != 48 {
+		t.Fatalf("NanosToCPU(15) = %d, want 48", got)
+	}
+	if got := CPUToNanos(3200); got != 1000 {
+		t.Fatalf("CPUToNanos(3200) = %v, want 1000", got)
+	}
+}
+
+func TestPropertyMemCPURoundTrip(t *testing.T) {
+	f := func(mem uint32) bool {
+		return ToMem(ToCPU(uint64(mem))) == uint64(mem) && IsMemEdge(ToCPU(uint64(mem)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+
+	"doram/internal/addrmap"
+	"doram/internal/bob"
+	"doram/internal/clock"
+	"doram/internal/cpu"
+	"doram/internal/delegator"
+	"doram/internal/dram"
+	"doram/internal/mc"
+	"doram/internal/oram"
+	"doram/internal/oram/layout"
+	"doram/internal/secmem"
+	"doram/internal/stats"
+	"doram/internal/trace"
+)
+
+// System is one fully assembled simulation: cores, memory backend and
+// (optionally) the S-App protection machinery.
+type System struct {
+	cfg Config
+	res *Results
+
+	nsCores []*cpu.Core
+	sCores  []*cpu.Core
+
+	// Direct-attached backend (NonSecure, PathORAMBaseline, SecureMemory).
+	directMCs []*mc.Controller
+
+	// BOB backend (DORAM).
+	bobs []*bob.SimpleController
+
+	// chanMappers maps channel-local addresses onto each channel's
+	// sub-channel geometry.
+	chanMappers [NumChannels]*addrmap.Mapper
+
+	engines []*delegator.Engine
+	sds     []*delegator.SD
+	onchips []*delegator.OnChip
+	smems   []*secmem.SecMem
+
+	// Warmup counters for latency-stat cold-start cuts.
+	readWarm  uint64
+	writeWarm uint64
+}
+
+// appBase separates per-application address spaces so different apps use
+// different DRAM rows, as distinct OS allocations would. The bank-granular
+// stagger decorrelates the apps' starting banks (a shared base would pile
+// every app's hot region into the same banks).
+func appBase(appID int) uint64 {
+	return uint64(appID+1)<<36 + uint64(appID)*7919*8192
+}
+
+// route splits an application address across its allowed channels:
+// line-interleaved channel choice, with the per-channel remainder kept
+// dense so streams stay row-local within each channel.
+func route(addr uint64, channels []int) (ch int, localAddr uint64) {
+	line := addr / trace.LineBytes
+	n := uint64(len(channels))
+	return channels[line%n], (line / n) * trace.LineBytes
+}
+
+// NewSystem builds the system described by cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, res: &Results{Config: cfg}}
+	// Read-latency histogram bounds: 50 ns to 2 us in CPU cycles.
+	s.res.NSReadHist = stats.NewHistogram([]uint64{
+		160, 320, 480, 640, 960, 1280, 1920, 2560, 3840, 6400,
+	})
+	geo := cfg.geometry()
+
+	mcCfg := mc.DefaultConfig()
+	mcCfg.Policy = cfg.MCPolicy
+	// Cooperative bandwidth preallocation [39] is part of the D-ORAM
+	// design for channels the S-App shares with NS-Apps (§IV). The Path
+	// ORAM baseline runs plain FR-FCFS, whose ready-row-hit preference
+	// lets ORAM's path streaks hog the channels — the interference
+	// Figure 4 quantifies.
+	mcCfg.CoopEnabled = cfg.HasSApp && cfg.Scheme == DORAM
+	mcCfg.CoopThreshold = cfg.CoopThreshold
+
+	newMC := func() *mc.Controller {
+		return mc.New(dram.NewChannel(cfg.timing(), geo.Ranks, geo.Banks), mcCfg)
+	}
+
+	linkCfg := bob.DefaultLinkConfig()
+	if cfg.LinkLatencyNs > 0 {
+		linkCfg.LatencyCycles = clock.NanosToCPU(cfg.LinkLatencyNs)
+	}
+
+	if cfg.Scheme == DORAM {
+		// Channel 0: 4 sub-channels behind one serial link; channels 1..3:
+		// 1 sub-channel each (§IV).
+		subs := make([]*mc.Controller, SecureSubChannels)
+		subBuses := make([]int, SecureSubChannels)
+		for i := range subs {
+			subs[i] = newMC()
+			subBuses[i] = i
+		}
+		s.bobs = append(s.bobs,
+			bob.NewSimpleController(bob.NewLink(linkCfg), subs, 64))
+		s.chanMappers[0] = addrmap.New(geo, addrmap.OpenPage, subBuses)
+		for c := 1; c < NumChannels; c++ {
+			s.bobs = append(s.bobs,
+				bob.NewSimpleController(bob.NewLink(linkCfg), []*mc.Controller{newMC()}, 64))
+			s.chanMappers[c] = addrmap.New(geo, addrmap.OpenPage, []int{0})
+		}
+	} else {
+		for c := 0; c < NumChannels; c++ {
+			s.directMCs = append(s.directMCs, newMC())
+			s.chanMappers[c] = addrmap.New(geo, addrmap.OpenPage, []int{0})
+		}
+	}
+
+	ts, err := newTraceSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coreCfg := cpu.DefaultConfig()
+
+	// S-App machinery: one engine/executor per S-App copy.
+	numS := cfg.NumS
+	if cfg.HasSApp && numS == 0 {
+		numS = 1
+	}
+	for i := 0; i < numS; i++ {
+		if err := s.buildSApp(geo, i); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cores. The S-App cores (IDs NumNS..) run the same program as the
+	// NS-Apps per the paper's methodology.
+	for i := 0; i < cfg.NumNS; i++ {
+		gen, err := ts.reader(i, uint64(i+1)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		s.nsCores = append(s.nsCores, cpu.New(i, coreCfg, gen, s.nsPort(i)))
+	}
+	for i := 0; i < numS; i++ {
+		gen, err := ts.reader(cfg.NumNS+i, 0xabcdef+uint64(i)*0x51ab)
+		if err != nil {
+			return nil, err
+		}
+		s.sCores = append(s.sCores, cpu.New(cfg.NumNS+i, coreCfg, gen, s.sPort(i)))
+	}
+	return s, nil
+}
+
+// buildSApp wires one S-App copy's executor and engine. Each copy owns a
+// disjoint ORAM region (idx staggers the base) so multiple S-Apps pressure
+// the secure channel's capacity the way §III-C describes.
+func (s *System) buildSApp(geo addrmap.Geometry, idx int) error {
+	subtree := s.cfg.SubtreeLevels
+	if subtree == 0 {
+		subtree = layout.DefaultSubtreeLevels
+	}
+	sdCfg := delegator.DefaultSDConfig()
+	sdCfg.OramBase += uint64(idx) << 37
+	seed := s.cfg.Seed ^ 0x5eed ^ uint64(idx)<<32
+	switch s.cfg.Scheme {
+	case PathORAMBaseline:
+		p := oram.PaperParams()
+		lay := layout.New(p, subtree, 0)
+		sampler := oram.NewSampler(p, seed)
+		sampler.SetForkPath(s.cfg.ForkPath)
+		oc := delegator.NewOnChip(sdCfg, sampler, lay, s.directMCs, geo)
+		s.onchips = append(s.onchips, oc)
+		s.engines = append(s.engines, delegator.NewEngine(oc, s.cfg.Pace, 16))
+	case DORAM:
+		p := oram.PaperParams()
+		p.Levels += s.cfg.SplitK // tree expansion (§III-C)
+		lay := layout.New(p, subtree, s.cfg.SplitK)
+		sampler := oram.NewSampler(p, seed)
+		sampler.SetForkPath(s.cfg.ForkPath)
+		sd, err := delegator.NewSD(sdCfg, sampler, lay, s.bobs[0], s.bobs[1:], geo)
+		if err != nil {
+			return err
+		}
+		sd.SetOverlapPhases(s.cfg.OverlapPhases)
+		s.sds = append(s.sds, sd)
+		s.engines = append(s.engines, delegator.NewEngine(sd, s.cfg.Pace, 16))
+	case SecureMemory:
+		buses := make([]int, NumChannels)
+		for i := range buses {
+			buses[i] = i
+		}
+		mapper := addrmap.New(geo, addrmap.OpenPage, buses)
+		s.smems = append(s.smems,
+			secmem.New(secmem.DefaultConfig(), s.directMCs, mapper, s.cfg.NumNS+idx))
+	default:
+		return fmt.Errorf("core: scheme %v cannot host an S-App", s.cfg.Scheme)
+	}
+	return nil
+}
+
+// nsPort builds NS-App i's memory port.
+func (s *System) nsPort(i int) cpu.Port {
+	channels := s.cfg.nsChannelsFor(i)
+	if s.cfg.Scheme == DORAM {
+		return &bobPort{sys: s, appID: i, channels: channels, base: appBase(i)}
+	}
+	return &directPort{sys: s, appID: i, channels: channels, base: appBase(i)}
+}
+
+// sPort builds S-App copy idx's memory port.
+func (s *System) sPort(idx int) cpu.Port {
+	if len(s.smems) > 0 {
+		return &secMemPort{smem: s.smems[idx], base: appBase(s.cfg.NumNS + idx)}
+	}
+	return s.engines[idx]
+}
+
+// directPort routes an NS-App's accesses straight into the on-chip memory
+// controllers (direct-attached architecture).
+type directPort struct {
+	sys      *System
+	appID    int
+	channels []int
+	base     uint64
+}
+
+// Access implements cpu.Port.
+func (p *directPort) Access(write bool, addr uint64, now uint64, onDone func(uint64)) bool {
+	ch, localAddr := route(addr, p.channels)
+	coord := p.sys.chanMappers[ch].Map(p.base + localAddr)
+	op := mc.OpRead
+	if write {
+		op = mc.OpWrite
+	}
+	req := &mc.Request{Op: op, Coord: coord, AppID: p.appID}
+	sys, issue := p.sys, now
+	if write {
+		req.OnComplete = func(_ *mc.Request, memDone uint64) {
+			sys.recordWrite(ch, clock.ToCPU(memDone)-issue)
+		}
+	} else {
+		req.OnComplete = func(_ *mc.Request, memDone uint64) {
+			done := clock.ToCPU(memDone)
+			sys.recordRead(ch, done-issue)
+			if onDone != nil {
+				onDone(done)
+			}
+		}
+	}
+	return p.sys.directMCs[ch].Enqueue(req, clock.ToMem(now))
+}
+
+// bobPort routes an NS-App's accesses over the serial links of the BOB
+// architecture.
+type bobPort struct {
+	sys      *System
+	appID    int
+	channels []int
+	base     uint64
+}
+
+// Access implements cpu.Port.
+func (p *bobPort) Access(write bool, addr uint64, now uint64, onDone func(uint64)) bool {
+	ch, localAddr := route(addr, p.channels)
+	coord := p.sys.chanMappers[ch].Map(p.base + localAddr)
+	sys, issue := p.sys, now
+	req := &bob.NSRequest{Write: write, Coord: coord, AppID: p.appID}
+	if write {
+		req.OnWriteDrained = func(done uint64) { sys.recordWrite(ch, done-issue) }
+	} else {
+		req.OnDone = func(done uint64) {
+			sys.recordRead(ch, done-issue)
+			if onDone != nil {
+				onDone(done)
+			}
+		}
+	}
+	return p.sys.bobs[ch].Submit(req, now)
+}
+
+// secMemPort adapts the secure-memory model to an S-App core, applying
+// the app's address-space base.
+type secMemPort struct {
+	smem *secmem.SecMem
+	base uint64
+}
+
+// Access implements cpu.Port.
+func (p *secMemPort) Access(write bool, addr uint64, now uint64, onDone func(uint64)) bool {
+	return p.smem.Access(write, p.base+addr, now, onDone)
+}
+
+func (s *System) recordRead(ch int, lat uint64) {
+	if s.readWarm < s.cfg.LatencyWarmup {
+		s.readWarm++
+		return
+	}
+	s.res.ReadLatPerChannel[ch].Observe(lat)
+	s.res.NSReadLat.Observe(lat)
+	s.res.NSReadHist.Observe(lat)
+}
+
+func (s *System) recordWrite(ch int, lat uint64) {
+	if s.writeWarm < s.cfg.LatencyWarmup {
+		s.writeWarm++
+		return
+	}
+	s.res.WriteLatPerChannel[ch].Observe(lat)
+	s.res.NSWriteLat.Observe(lat)
+}
+
+// Run executes the simulation until every measured core finishes and
+// returns the results. NS cores are the measured set; with no NS-Apps the
+// S-App core is measured instead.
+func (s *System) Run() (*Results, error) {
+	measured := s.nsCores
+	if len(measured) == 0 {
+		measured = s.sCores
+	}
+	var cyc uint64
+	for ; cyc < s.cfg.MaxCycles; cyc++ {
+		for _, c := range s.nsCores {
+			if !c.Done() {
+				c.Tick(cyc)
+			}
+		}
+		for _, c := range s.sCores {
+			if !c.Done() {
+				c.Tick(cyc)
+			}
+		}
+		for _, e := range s.engines {
+			e.Tick(cyc)
+		}
+		if clock.IsMemEdge(cyc) {
+			for _, sd := range s.sds {
+				sd.Tick(cyc)
+			}
+			for _, oc := range s.onchips {
+				oc.Tick(cyc)
+			}
+			for _, b := range s.bobs {
+				b.Tick(cyc)
+			}
+			memNow := clock.ToMem(cyc)
+			for _, m := range s.directMCs {
+				m.Tick(memNow)
+			}
+		}
+		done := true
+		for _, c := range measured {
+			if !c.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if cyc >= s.cfg.MaxCycles {
+		return nil, fmt.Errorf("core: run exceeded MaxCycles=%d (%s, %s)",
+			s.cfg.MaxCycles, s.cfg.Scheme, s.cfg.Benchmark)
+	}
+	s.collect(cyc)
+	return s.res, nil
+}
+
+// collect finalizes the Results after the run.
+func (s *System) collect(cyc uint64) {
+	s.res.Cycles = cyc
+	for _, c := range s.nsCores {
+		s.res.NSFinish = append(s.res.NSFinish, c.FinishedAt())
+		s.res.NSInstrs = append(s.res.NSInstrs, c.Retired())
+	}
+	if len(s.sCores) > 0 && s.sCores[0].Done() {
+		s.res.SAppFinish = s.sCores[0].FinishedAt()
+	}
+	if len(s.engines) > 0 {
+		s.res.Engine = s.engines[0].Stats()
+	}
+	for _, sd := range s.sds {
+		s.res.SAppAll = append(s.res.SAppAll, sd.Stats())
+	}
+	for _, oc := range s.onchips {
+		s.res.SAppAll = append(s.res.SAppAll, oc.Stats())
+	}
+	if len(s.res.SAppAll) > 0 {
+		s.res.SApp = s.res.SAppAll[0]
+	}
+	power := dram.DDR31600Power()
+	elapsedMem := clock.ToMem(cyc)
+	hitRate := func(ctrl *mc.Controller) (hits, miss uint64) {
+		return ctrl.Stats().RowHits.Value(), ctrl.Stats().RowMisses.Value()
+	}
+	if s.cfg.Scheme == DORAM {
+		for c, b := range s.bobs {
+			var hits, miss uint64
+			for _, sub := range b.SubChannels() {
+				s.res.ChannelDataBusBusy[c] += sub.Channel().Stats().DataBus.Busy()
+				s.res.ChannelEnergyUJ[c] += sub.Channel().Energy(power, elapsedMem).Total()
+				h, m := hitRate(sub)
+				hits += h
+				miss += m
+			}
+			if hits+miss > 0 {
+				s.res.ChannelRowHitRate[c] = float64(hits) / float64(hits+miss)
+			}
+		}
+	} else {
+		for c, m := range s.directMCs {
+			s.res.ChannelDataBusBusy[c] = m.Channel().Stats().DataBus.Busy()
+			s.res.ChannelEnergyUJ[c] = m.Channel().Energy(power, elapsedMem).Total()
+			h, ms := hitRate(m)
+			if h+ms > 0 {
+				s.res.ChannelRowHitRate[c] = float64(h) / float64(h+ms)
+			}
+		}
+	}
+}

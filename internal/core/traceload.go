@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"doram/internal/trace"
+)
+
+// traceSource builds the per-core trace readers: synthetic generators by
+// default, recorded files when Config.TraceDir is set.
+type traceSource struct {
+	cfg    Config
+	spec   trace.Spec
+	shared []trace.Record // lazily loaded shared recording, if any
+}
+
+func newTraceSource(cfg Config) (*traceSource, error) {
+	spec, ok := trace.ByName(cfg.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", cfg.Benchmark)
+	}
+	return &traceSource{cfg: cfg, spec: spec}, nil
+}
+
+// reader returns core coreIdx's trace, limited to TraceLen records.
+// seedSalt decorrelates the synthetic streams.
+func (ts *traceSource) reader(coreIdx int, seedSalt uint64) (trace.Reader, error) {
+	if ts.cfg.TraceDir == "" {
+		gen := trace.NewGenerator(ts.spec, ts.cfg.Seed+seedSalt)
+		return trace.Limit(gen, ts.cfg.TraceLen), nil
+	}
+
+	// Per-core recording takes precedence.
+	perCore := filepath.Join(ts.cfg.TraceDir, fmt.Sprintf("%s.%d.dtrc", ts.cfg.Benchmark, coreIdx))
+	if recs, err := loadRecords(perCore); err == nil {
+		return trace.Limit(trace.NewSliceReader(recs), ts.cfg.TraceLen), nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	// Shared recording, rotated per core so co-runners diverge.
+	if ts.shared == nil {
+		shared := filepath.Join(ts.cfg.TraceDir, ts.cfg.Benchmark+".dtrc")
+		recs, err := loadRecords(shared)
+		if err != nil {
+			return nil, fmt.Errorf("core: no trace for %q in %s: %w",
+				ts.cfg.Benchmark, ts.cfg.TraceDir, err)
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("core: empty trace file %s", shared)
+		}
+		ts.shared = recs
+	}
+	n := len(ts.shared)
+	start := coreIdx * n / 8 // rotate by core slot
+	rotated := make([]trace.Record, 0, n)
+	rotated = append(rotated, ts.shared[start%n:]...)
+	rotated = append(rotated, ts.shared[:start%n]...)
+	return trace.Limit(trace.NewSliceReader(rotated), ts.cfg.TraceLen), nil
+}
+
+// loadRecords reads a recorded trace file fully into memory.
+func loadRecords(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fr, err := trace.OpenFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	recs := make([]trace.Record, 0, fr.Total())
+	for {
+		rec, ok := fr.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := fr.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

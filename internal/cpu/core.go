@@ -1,0 +1,219 @@
+// Package cpu models a trace-driven out-of-order core front-end in the
+// style of USIMM: a reorder buffer (ROB) with configurable size and
+// fetch/retire widths, where memory reads block retirement until data
+// returns and writes are posted to the memory system at fetch.
+//
+// All times in this package are CPU cycles (3.2 GHz in the paper's
+// configuration).
+package cpu
+
+import (
+	"doram/internal/stats"
+	"doram/internal/trace"
+)
+
+// Config sets the core parameters (Table II of the paper).
+type Config struct {
+	ROBSize     int
+	FetchWidth  int
+	RetireWidth int
+}
+
+// DefaultConfig returns the paper's core: 128-entry ROB, 4-wide fetch and
+// retire.
+func DefaultConfig() Config {
+	return Config{ROBSize: 128, FetchWidth: 4, RetireWidth: 4}
+}
+
+// Port is the core's window into the memory system. Implementations route
+// an access to an on-chip memory controller, across a BOB serial link, or
+// into an ORAM engine.
+type Port interface {
+	// Access submits an access at CPU cycle now. addr is an
+	// application-local byte address. It returns false when the downstream
+	// queue is full; the core stalls fetch and retries.
+	//
+	// For reads, onDone must be invoked exactly once with the CPU cycle the
+	// data arrived. For writes onDone is nil (posted writes).
+	Access(write bool, addr uint64, now uint64, onDone func(doneCycle uint64)) bool
+}
+
+// Stats aggregates one core's execution behaviour.
+type Stats struct {
+	Reads        stats.Counter
+	Writes       stats.Counter
+	ReadLatency  stats.Latency // fetch-issue to data-return, CPU cycles
+	RetireStalls stats.Counter // cycles with zero retire progress while busy
+	FetchStalls  stats.Counter // cycles fetch blocked on a full memory queue
+}
+
+// memOp tracks one in-flight memory instruction.
+type memOp struct {
+	instrIdx uint64
+	write    bool
+	addr     uint64
+	done     bool
+	issuedAt uint64
+}
+
+// Core executes one application trace.
+type Core struct {
+	id   int
+	cfg  Config
+	tr   trace.Reader
+	port Port
+
+	fetchIdx  uint64 // instructions fetched into the ROB
+	retireIdx uint64 // instructions retired
+
+	ops []*memOp // program-order FIFO of unretired memory instructions
+
+	// Next trace record, already positioned at an absolute instruction
+	// index (nextOpIdx counts the record's Gap non-memory instructions
+	// first, then the access itself).
+	haveRec   bool
+	nextRec   trace.Record
+	nextOpIdx uint64
+	nextEnd   uint64 // instruction index just past the access
+
+	traceDone  bool
+	finishedAt uint64
+	stats      Stats
+}
+
+// New builds a core over the given trace and memory port.
+func New(id int, cfg Config, tr trace.Reader, port Port) *Core {
+	c := &Core{id: id, cfg: cfg, tr: tr, port: port}
+	c.pull()
+	return c
+}
+
+// ID returns the core's identifier.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns the core's counters.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() uint64 { return c.retireIdx }
+
+// Done reports whether the core has retired its entire trace.
+func (c *Core) Done() bool {
+	return c.traceDone && !c.haveRec && c.retireIdx == c.fetchIdx
+}
+
+// FinishedAt returns the cycle the last instruction retired (valid once
+// Done is true).
+func (c *Core) FinishedAt() uint64 { return c.finishedAt }
+
+// pull advances to the next trace record.
+func (c *Core) pull() {
+	rec, ok := c.tr.Next()
+	if !ok {
+		c.haveRec = false
+		c.traceDone = true
+		return
+	}
+	c.haveRec = true
+	c.nextRec = rec
+	c.nextOpIdx = c.nextEnd + uint64(rec.Gap)
+	c.nextEnd = c.nextOpIdx + 1
+}
+
+// Tick advances the core by one CPU cycle: retire then fetch, so a
+// same-cycle completion cannot retire in the cycle it was fetched.
+func (c *Core) Tick(now uint64) {
+	if c.Done() {
+		return
+	}
+	c.retire(now)
+	c.fetch(now)
+}
+
+func (c *Core) retire(now uint64) {
+	budget := uint64(c.cfg.RetireWidth)
+	progressed := false
+	for budget > 0 && c.retireIdx < c.fetchIdx {
+		if len(c.ops) > 0 && c.ops[0].instrIdx == c.retireIdx {
+			op := c.ops[0]
+			if !op.write && !op.done {
+				break // blocking read at ROB head
+			}
+			c.ops = c.ops[1:]
+			c.retireIdx++
+			budget--
+			progressed = true
+			continue
+		}
+		// Retire non-memory instructions up to the next memory op or the
+		// fetch frontier.
+		limit := c.fetchIdx
+		if len(c.ops) > 0 && c.ops[0].instrIdx < limit {
+			limit = c.ops[0].instrIdx
+		}
+		n := limit - c.retireIdx
+		if n > budget {
+			n = budget
+		}
+		if n == 0 {
+			break
+		}
+		c.retireIdx += n
+		budget -= n
+		progressed = true
+	}
+	if !progressed && (c.haveRec || c.retireIdx < c.fetchIdx) {
+		c.stats.RetireStalls.Inc()
+	}
+	if c.Done() && c.finishedAt == 0 {
+		c.finishedAt = now
+	}
+}
+
+func (c *Core) fetch(now uint64) {
+	budget := uint64(c.cfg.FetchWidth)
+	for budget > 0 && c.haveRec {
+		space := uint64(c.cfg.ROBSize) - (c.fetchIdx - c.retireIdx)
+		if space == 0 {
+			return
+		}
+		if c.fetchIdx < c.nextOpIdx {
+			// Fetch non-memory instructions.
+			n := c.nextOpIdx - c.fetchIdx
+			if n > budget {
+				n = budget
+			}
+			if n > space {
+				n = space
+			}
+			c.fetchIdx += n
+			budget -= n
+			continue
+		}
+		// Fetch the memory access itself.
+		op := &memOp{instrIdx: c.fetchIdx, write: c.nextRec.Write, addr: c.nextRec.Addr, issuedAt: now}
+		var onDone func(uint64)
+		if !op.write {
+			onDone = func(doneCycle uint64) {
+				op.done = true
+				if doneCycle >= op.issuedAt {
+					c.stats.ReadLatency.Observe(doneCycle - op.issuedAt)
+				}
+			}
+		}
+		if !c.port.Access(op.write, op.addr, now, onDone) {
+			c.stats.FetchStalls.Inc()
+			return // back-pressure: retry next cycle
+		}
+		if op.write {
+			op.done = true
+			c.stats.Writes.Inc()
+		} else {
+			c.stats.Reads.Inc()
+		}
+		c.ops = append(c.ops, op)
+		c.fetchIdx++
+		budget--
+		c.pull()
+	}
+}

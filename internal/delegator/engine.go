@@ -1,0 +1,163 @@
+package delegator
+
+import (
+	"doram/internal/stats"
+)
+
+// DefaultPace is the paper's timing-protection interval t: a new (possibly
+// dummy) request issues t CPU cycles after the previous response packet
+// arrives (§III-B item 2).
+const DefaultPace = 50
+
+// EngineStats aggregates the secure engine's request stream.
+type EngineStats struct {
+	RealSent   stats.Counter
+	DummySent  stats.Counter
+	QueueFull  stats.Counter
+	Turnaround stats.Latency // request issue to response arrival, CPU cycles
+	PaceDrops  stats.Counter // adaptive pace halvings (more bandwidth)
+	PaceRaises stats.Counter // adaptive pace doublings (less bandwidth)
+}
+
+// Engine is the on-chip secure engine serving one S-App core. It queues
+// the core's LLC misses, converts them into constant-rate ORAM requests
+// (inserting dummies when the core is idle), and completes the core's
+// reads when response packets arrive. OTP pads are pregenerated (Eq. 1),
+// so packet encryption adds no latency here; the SD models its own crypto
+// check cost.
+type Engine struct {
+	pace     uint64
+	exec     Executor
+	queueCap int
+
+	pending []*engineOp
+
+	// sendAt is the cycle the next request becomes due; ready marks
+	// whether a request is currently awaiting its response.
+	sendAt  uint64
+	waiting bool
+	sentAt  uint64
+
+	// Adaptive pacing (Fletcher et al. [46]): trade a little timing
+	// leakage (the pace changes at coarse epochs) for efficiency by
+	// halving t under real demand and doubling it when idle.
+	adaptive   bool
+	paceMin    uint64
+	paceMax    uint64
+	epochLen   int
+	epochReal  int
+	epochTotal int
+
+	stats EngineStats
+}
+
+type engineOp struct {
+	write  bool
+	addr   uint64
+	onDone func(uint64)
+}
+
+// NewEngine builds an engine pacing requests every pace cycles over exec.
+// queueCap bounds the core-visible miss queue.
+func NewEngine(exec Executor, pace uint64, queueCap int) *Engine {
+	if pace == 0 || queueCap < 1 {
+		panic("delegator: engine needs positive pace and queue capacity")
+	}
+	return &Engine{pace: pace, exec: exec, queueCap: queueCap}
+}
+
+// Stats returns engine statistics.
+func (e *Engine) Stats() *EngineStats { return &e.stats }
+
+// Pace returns the current timing-protection interval.
+func (e *Engine) Pace() uint64 { return e.pace }
+
+// SetAdaptivePace enables epoch-granular pace adaptation within
+// [min, max]: after every epochLen requests, a mostly-real epoch halves
+// the pace and a mostly-dummy epoch doubles it. This is the timing-leakage
+// versus efficiency trade-off of Fletcher et al. (HPCA 2014), cited as
+// [46]; the paper's fixed t=50 is the zero-leakage point.
+func (e *Engine) SetAdaptivePace(min, max uint64, epochLen int) {
+	if min == 0 || max < min || epochLen < 1 {
+		panic("delegator: invalid adaptive pace parameters")
+	}
+	e.adaptive = true
+	e.paceMin, e.paceMax, e.epochLen = min, max, epochLen
+	if e.pace < min {
+		e.pace = min
+	}
+	if e.pace > max {
+		e.pace = max
+	}
+}
+
+// adaptEpoch adjusts the pace at epoch boundaries.
+func (e *Engine) adaptEpoch() {
+	if !e.adaptive || e.epochTotal < e.epochLen {
+		return
+	}
+	frac := float64(e.epochReal) / float64(e.epochTotal)
+	switch {
+	case frac > 0.75 && e.pace/2 >= e.paceMin:
+		e.pace /= 2
+		e.stats.PaceDrops.Inc()
+	case frac < 0.25 && e.pace*2 <= e.paceMax:
+		e.pace *= 2
+		e.stats.PaceRaises.Inc()
+	}
+	e.epochReal, e.epochTotal = 0, 0
+}
+
+// QueueLen returns the number of core requests awaiting ORAM service.
+func (e *Engine) QueueLen() int { return len(e.pending) }
+
+// Access implements the core's memory port (cpu.Port compatible): S-App
+// misses enter the secure engine's queue. Writes are posted; reads
+// complete when their ORAM access responds.
+func (e *Engine) Access(write bool, addr uint64, now uint64, onDone func(uint64)) bool {
+	if len(e.pending) >= e.queueCap {
+		e.stats.QueueFull.Inc()
+		return false
+	}
+	e.pending = append(e.pending, &engineOp{write: write, addr: addr, onDone: onDone})
+	return true
+}
+
+// Tick advances the engine by one CPU cycle, issuing a request when due.
+func (e *Engine) Tick(now uint64) {
+	if e.waiting || now < e.sendAt {
+		return
+	}
+	a := &Access{}
+	var op *engineOp
+	if len(e.pending) > 0 {
+		op = e.pending[0]
+		a.Real = true
+		a.Write = op.write
+		a.Addr = op.addr
+	}
+	a.OnResponse = func(resp uint64) {
+		e.waiting = false
+		e.sendAt = resp + e.pace
+		if resp >= e.sentAt {
+			e.stats.Turnaround.Observe(resp - e.sentAt)
+		}
+		if op != nil && op.onDone != nil {
+			op.onDone(resp)
+		}
+	}
+	if !e.exec.Submit(a, now) {
+		return // executor write phase backlog; retry next cycle
+	}
+	if op != nil {
+		e.pending = e.pending[1:]
+		e.stats.RealSent.Inc()
+		e.epochReal++
+	} else {
+		e.stats.DummySent.Inc()
+	}
+	e.epochTotal++
+	e.adaptEpoch()
+	e.waiting = true
+	e.sentAt = now
+}

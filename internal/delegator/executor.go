@@ -1,0 +1,45 @@
+// Package delegator implements D-ORAM's trusted components: the on-chip
+// secure engine that paces and encrypts ORAM requests (§III-B), the secure
+// delegator (SD) embedded in the BOB unit that executes Path ORAM against
+// the untrusted sub-channels, and the on-chip executor used by the Path
+// ORAM baseline where the processor's own memory controllers run the
+// protocol over the direct-attached channels.
+package delegator
+
+import "doram/internal/stats"
+
+// Access is one ORAM operation requested by the secure engine.
+type Access struct {
+	// Real marks an actual S-App request; dummies keep the request rate
+	// fixed for timing protection.
+	Real  bool
+	Write bool
+	// Addr is the S-App's logical block address (line-aligned bytes).
+	Addr uint64
+
+	// OnResponse fires when the response packet reaches the processor
+	// (CPU cycle): the read-phase data is available and the engine starts
+	// its t-cycle countdown to the next request.
+	OnResponse func(cpuCycle uint64)
+}
+
+// Executor runs ORAM accesses. Implementations: the SD on the secure
+// channel (D-ORAM), and the on-chip engine of the Path ORAM baseline.
+type Executor interface {
+	// Submit hands over one access at CPU cycle now. Implementations
+	// buffer at most one access while the previous write phase drains
+	// (§III-B timing control); Submit returns false when that buffer is
+	// occupied and the engine must retry.
+	Submit(a *Access, now uint64) bool
+}
+
+// ExecStats aggregates ORAM execution behaviour, reported by both
+// executors.
+type ExecStats struct {
+	Accesses      stats.Counter
+	RealAccesses  stats.Counter
+	DummyAccesses stats.Counter
+	ReadPhase     stats.Latency // start to response, CPU cycles
+	WritePhase    stats.Latency // response to write-back drain, CPU cycles
+	RemoteBlocks  stats.Counter // blocks moved to/from normal channels (+k)
+}

@@ -1,0 +1,153 @@
+package delegator
+
+import (
+	"doram/internal/addrmap"
+	"doram/internal/clock"
+	"doram/internal/mc"
+	"doram/internal/oram"
+	"doram/internal/oram/layout"
+)
+
+// ocState is the on-chip engine's serial phase (the baseline never
+// overlaps accesses).
+type ocState int
+
+const (
+	sdIdle ocState = iota
+	sdRead
+	sdWrite
+)
+
+// OnChip is the Path ORAM baseline executor: the protocol runs in the
+// processor's secure engine and every block transfer crosses the off-chip
+// buses of the direct-attached channels — the configuration whose extreme
+// memory contention motivates D-ORAM (§II-C, Figure 4).
+type OnChip struct {
+	cfg     SDConfig
+	sampler *oram.Sampler
+	lay     *layout.Layout
+	mcs     []*mc.Controller
+	maps    []*addrmap.Mapper
+
+	state    ocState
+	cur      *Access
+	buffered *Access
+
+	curTrace   oram.Trace
+	readsLeft  int
+	writesLeft int
+	phaseStart uint64
+
+	sched sched
+	stats ExecStats
+}
+
+// NewOnChip builds the baseline executor over the direct-attached channel
+// controllers. lay must have no split (the baseline stripes every node's
+// blocks across all channels).
+func NewOnChip(cfg SDConfig, sampler *oram.Sampler, lay *layout.Layout,
+	mcs []*mc.Controller, geo addrmap.Geometry) *OnChip {
+
+	if lay.SplitK() != 0 {
+		panic("delegator: on-chip baseline does not support tree split")
+	}
+	o := &OnChip{cfg: cfg, sampler: sampler, lay: lay, mcs: mcs}
+	for range mcs {
+		o.maps = append(o.maps, addrmap.New(geo, addrmap.OpenPage, []int{0}))
+	}
+	return o
+}
+
+// Stats returns execution statistics.
+func (o *OnChip) Stats() *ExecStats { return &o.stats }
+
+// Busy reports whether an access is in flight.
+func (o *OnChip) Busy() bool { return o.state != sdIdle || !o.sched.Empty() }
+
+// Submit implements Executor.
+func (o *OnChip) Submit(a *Access, now uint64) bool {
+	if o.buffered != nil {
+		return false
+	}
+	o.buffered = a
+	o.sched.Add(now+o.cfg.CryptoCycles, o.tryStart)
+	return true
+}
+
+func (o *OnChip) tryStart(now uint64) {
+	if o.state != sdIdle || o.buffered == nil {
+		return
+	}
+	a := o.buffered
+	o.buffered = nil
+	o.cur = a
+	o.state = sdRead
+	o.phaseStart = now
+	if a.Real {
+		o.curTrace = o.sampler.Access(a.Addr / uint64(o.lay.Params().BlockSize))
+		o.stats.RealAccesses.Inc()
+	} else {
+		o.curTrace = o.sampler.Dummy()
+		o.stats.DummyAccesses.Inc()
+	}
+	o.stats.Accesses.Inc()
+
+	z := o.lay.Params().Z
+	o.readsLeft = len(o.curTrace.ReadNodes) * z
+	for _, node := range o.curTrace.ReadNodes {
+		for slot := 0; slot < z; slot++ {
+			o.issue(node, slot, mc.OpRead, now, o.readDone)
+		}
+	}
+}
+
+// issue enqueues one block transaction, striping slots across channels.
+func (o *OnChip) issue(node oram.NodeID, slot int, op mc.OpType, now uint64, done func(uint64)) {
+	pl := o.lay.Place(node, slot)
+	ch := pl.SubChannel % len(o.mcs)
+	coord := o.maps[ch].Map(o.cfg.OramBase + pl.Addr)
+	coord.Bus = ch
+	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1,
+		OnComplete: func(_ *mc.Request, memDone uint64) { done(clock.ToCPU(memDone)) }}
+	ctrl := o.mcs[ch]
+	var attempt func(uint64)
+	attempt = func(n uint64) {
+		if !ctrl.Enqueue(req, clock.ToMem(n)) {
+			o.sched.Add(n+o.cfg.RetryInterval, attempt)
+		}
+	}
+	o.sched.Add(now, attempt)
+}
+
+func (o *OnChip) readDone(now uint64) {
+	o.readsLeft--
+	if o.readsLeft > 0 {
+		return
+	}
+	o.stats.ReadPhase.Observe(now - o.phaseStart)
+	if o.cur.OnResponse != nil {
+		o.cur.OnResponse(now + o.cfg.CryptoCycles)
+	}
+	o.state = sdWrite
+	o.phaseStart = now
+	z := o.lay.Params().Z
+	o.writesLeft = len(o.curTrace.WriteNodes) * z
+	for _, node := range o.curTrace.WriteNodes {
+		for slot := 0; slot < z; slot++ {
+			o.issue(node, slot, mc.OpWrite, now, o.writeDone)
+		}
+	}
+}
+
+func (o *OnChip) writeDone(now uint64) {
+	o.writesLeft--
+	if o.writesLeft > 0 {
+		return
+	}
+	o.stats.WritePhase.Observe(now - o.phaseStart)
+	o.state = sdIdle
+	o.tryStart(now)
+}
+
+// Tick processes due events; call once per memory-clock edge.
+func (o *OnChip) Tick(now uint64) { o.sched.Run(now) }

@@ -1,0 +1,49 @@
+package delegator
+
+// sched is a tiny future-event list used by the executors to model
+// multi-hop message chains and queue-retry without a global event engine.
+// Event counts are small (bounded by blocks per ORAM phase), so a linear
+// scan is cheaper than a heap.
+type sched struct {
+	events []schedEvent
+}
+
+type schedEvent struct {
+	at uint64
+	fn func(now uint64)
+}
+
+// Add schedules fn at the given CPU cycle.
+func (s *sched) Add(at uint64, fn func(now uint64)) {
+	s.events = append(s.events, schedEvent{at: at, fn: fn})
+}
+
+// Run executes all events due at or before now. Events may schedule new
+// events (including for the current cycle); Run drains until no due events
+// remain.
+func (s *sched) Run(now uint64) {
+	for {
+		ran := false
+		keep := s.events[:0]
+		// Copy out due events first: fn may append to s.events.
+		var due []schedEvent
+		for _, e := range s.events {
+			if e.at <= now {
+				due = append(due, e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		s.events = append([]schedEvent(nil), keep...)
+		for _, e := range due {
+			e.fn(now)
+			ran = true
+		}
+		if !ran {
+			return
+		}
+	}
+}
+
+// Empty reports whether no events are pending.
+func (s *sched) Empty() bool { return len(s.events) == 0 }

@@ -1,0 +1,300 @@
+package delegator
+
+import (
+	"fmt"
+
+	"doram/internal/addrmap"
+	"doram/internal/bob"
+	"doram/internal/clock"
+	"doram/internal/mc"
+	"doram/internal/oram"
+	"doram/internal/oram/layout"
+)
+
+// SDConfig tunes the secure delegator's timing.
+type SDConfig struct {
+	// CryptoCycles models the SD's packet check (decrypt, authenticate,
+	// integrity) and crypto pipeline fill, in CPU cycles.
+	CryptoCycles uint64
+	// FwdDelay is the processor-side forwarding cost for tree-split
+	// messages relayed between the secure and normal channels.
+	FwdDelay uint64
+	// OramBase is the byte offset of the ORAM region within each channel's
+	// address space, separating ORAM rows from NS-App rows.
+	OramBase uint64
+	// RetryInterval is the repoll interval when a DRAM queue is full.
+	RetryInterval uint64
+}
+
+// DefaultSDConfig returns the timing used in the evaluation.
+func DefaultSDConfig() SDConfig {
+	return SDConfig{
+		CryptoCycles:  16,
+		FwdDelay:      8,
+		OramBase:      1 << 38,
+		RetryInterval: clock.CPUPerMem,
+	}
+}
+
+// sdAccess is one in-flight ORAM access's bookkeeping.
+type sdAccess struct {
+	a          *Access
+	trace      oram.Trace
+	readsLeft  int
+	writesLeft int
+	phaseStart uint64
+}
+
+// SD is the secure delegator embedded in the secure channel's BOB unit.
+// It receives encrypted request packets from the processor, executes full
+// Path ORAM accesses against the channel's untrusted sub-channels (and,
+// under tree split, the normal channels via forwarded short packets), and
+// returns a single response packet per access.
+type SD struct {
+	cfg     SDConfig
+	sampler *oram.Sampler
+	lay     *layout.Layout
+
+	secure  *bob.SimpleController
+	normals []*bob.SimpleController // indexed 0..2 for channels 1..3
+
+	subMap    []*addrmap.Mapper
+	normalMap []*addrmap.Mapper
+
+	// Phase pipeline: reading is the access in its read phase, writing
+	// the one draining its write-back, pendingWrite an access whose read
+	// phase finished while another write-back was still in flight (only
+	// under OverlapPhases).
+	reading      *sdAccess
+	writing      *sdAccess
+	pendingWrite *sdAccess
+	buffered     *Access
+
+	// overlap lets the next access's read phase start while the previous
+	// write phase drains — the phase acceleration of Wang et al. [39].
+	// The paper's D-ORAM instead buffers the request (§III-B).
+	overlap bool
+
+	sched sched
+	stats ExecStats
+}
+
+// SetOverlapPhases toggles read/write phase overlap across consecutive
+// accesses ([39]'s acceleration; off reproduces the paper's buffering).
+func (sd *SD) SetOverlapPhases(on bool) { sd.overlap = on }
+
+// NewSD builds a delegator. sampler provides the ORAM traces (at the
+// paper's scale); lay must cover the same tree. normals supplies the
+// normal channels' controllers and is required when lay.SplitK() > 0.
+// geo describes the DRAM geometry behind every bus.
+func NewSD(cfg SDConfig, sampler *oram.Sampler, lay *layout.Layout,
+	secure *bob.SimpleController, normals []*bob.SimpleController,
+	geo addrmap.Geometry) (*SD, error) {
+
+	if lay.Params().Levels != sampler.Params().Levels {
+		return nil, fmt.Errorf("delegator: layout covers %d levels, sampler %d",
+			lay.Params().Levels, sampler.Params().Levels)
+	}
+	if lay.SplitK() > 0 && len(normals) < layout.NumNormalChannels {
+		return nil, fmt.Errorf("delegator: tree split needs %d normal channels, have %d",
+			layout.NumNormalChannels, len(normals))
+	}
+	sd := &SD{cfg: cfg, sampler: sampler, lay: lay, secure: secure, normals: normals}
+	for i := range secure.SubChannels() {
+		sd.subMap = append(sd.subMap, addrmap.New(geo, addrmap.OpenPage, []int{i}))
+	}
+	for range normals {
+		sd.normalMap = append(sd.normalMap, addrmap.New(geo, addrmap.OpenPage, []int{0}))
+	}
+	return sd, nil
+}
+
+// Stats returns execution statistics.
+func (sd *SD) Stats() *ExecStats { return &sd.stats }
+
+// Busy reports whether an access is in flight.
+func (sd *SD) Busy() bool {
+	return sd.reading != nil || sd.writing != nil || sd.pendingWrite != nil || !sd.sched.Empty()
+}
+
+// Submit implements Executor: the processor's main controller sends the
+// encrypted request packet over the secure channel's serial link.
+func (sd *SD) Submit(a *Access, now uint64) bool {
+	if sd.buffered != nil {
+		return false
+	}
+	arrival := sd.secure.Link().SendDown(bob.FullPacketBytes, now)
+	sd.buffered = a
+	sd.sched.Add(arrival+sd.cfg.CryptoCycles, sd.tryStart)
+	return true
+}
+
+// tryStart begins the buffered access when the pipeline allows: with no
+// other work in the paper's buffering mode, or as soon as the read slot is
+// free under phase overlap ([39]).
+func (sd *SD) tryStart(now uint64) {
+	if sd.reading != nil || sd.buffered == nil {
+		return
+	}
+	if !sd.overlap && (sd.writing != nil || sd.pendingWrite != nil) {
+		return
+	}
+	if sd.pendingWrite != nil {
+		return // one parked write-back is the pipeline's depth limit
+	}
+	a := sd.buffered
+	sd.buffered = nil
+	sd.startRead(a, now)
+}
+
+func (sd *SD) startRead(a *Access, now uint64) {
+	ctx := &sdAccess{a: a, phaseStart: now}
+	if a.Real {
+		blockAddr := a.Addr / uint64(sd.lay.Params().BlockSize)
+		ctx.trace = sd.sampler.Access(blockAddr)
+		sd.stats.RealAccesses.Inc()
+	} else {
+		ctx.trace = sd.sampler.Dummy()
+		sd.stats.DummyAccesses.Inc()
+	}
+	sd.stats.Accesses.Inc()
+	sd.reading = ctx
+
+	z := sd.lay.Params().Z
+	ctx.readsLeft = len(ctx.trace.ReadNodes) * z
+	for _, node := range ctx.trace.ReadNodes {
+		for slot := 0; slot < z; slot++ {
+			pl := sd.lay.Place(node, slot)
+			if pl.Remote {
+				sd.remoteRead(ctx, pl, now)
+			} else {
+				sd.localIssue(pl, mc.OpRead, now, func(t uint64) { sd.readDone(ctx, t) })
+			}
+		}
+	}
+}
+
+// localIssue enqueues one block transaction on a secure sub-channel,
+// retrying while the DRAM queue is full.
+func (sd *SD) localIssue(pl layout.Placement, op mc.OpType, now uint64, done func(uint64)) {
+	coord := sd.subMap[pl.SubChannel].Map(sd.cfg.OramBase + pl.Addr)
+	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1,
+		OnComplete: func(_ *mc.Request, memDone uint64) { done(clock.ToCPU(memDone)) }}
+	sub := sd.secure.SubChannels()[pl.SubChannel]
+	var attempt func(uint64)
+	attempt = func(n uint64) {
+		if !sub.Enqueue(req, clock.ToMem(n)) {
+			sd.sched.Add(n+sd.cfg.RetryInterval, attempt)
+		}
+	}
+	sd.sched.Add(now, attempt)
+}
+
+// remoteRead fetches one relocated block from a normal channel: a short
+// read packet up the secure link, forwarded by the CPU down the normal
+// channel's link, the DRAM read, then the 72 B response retracing the path
+// (§III-C).
+func (sd *SD) remoteRead(ctx *sdAccess, pl layout.Placement, now uint64) {
+	sd.stats.RemoteBlocks.Inc()
+	nc := sd.normals[pl.Channel-1]
+	a1 := sd.secure.Link().SendUp(bob.ShortReadBytes, now)
+	a2 := nc.Link().SendDown(bob.ShortReadBytes, a1+sd.cfg.FwdDelay)
+	coord := sd.normalMap[pl.Channel-1].Map(sd.cfg.OramBase + pl.Addr)
+	// Normal channels are not upgraded (§III-C): they cannot tell split
+	// traffic from ordinary requests, so no Secure scheduling class here.
+	req := &mc.Request{Op: mc.OpRead, Coord: coord, AppID: -1,
+		OnComplete: func(_ *mc.Request, memDone uint64) {
+			a3 := nc.Link().SendUp(bob.FullPacketBytes, clock.ToCPU(memDone))
+			a4 := sd.secure.Link().SendDown(bob.FullPacketBytes, a3+sd.cfg.FwdDelay)
+			sd.sched.Add(a4, func(t uint64) { sd.readDone(ctx, t) })
+		}}
+	sub := nc.SubChannels()[0]
+	var attempt func(uint64)
+	attempt = func(n uint64) {
+		if !sub.Enqueue(req, clock.ToMem(n)) {
+			sd.sched.Add(n+sd.cfg.RetryInterval, attempt)
+		}
+	}
+	sd.sched.Add(a2, attempt)
+}
+
+// readDone accounts one finished block read; the last one sends the
+// response packet and hands the access to the write-back stage.
+func (sd *SD) readDone(ctx *sdAccess, now uint64) {
+	ctx.readsLeft--
+	if ctx.readsLeft > 0 {
+		return
+	}
+	sd.stats.ReadPhase.Observe(now - ctx.phaseStart)
+	respArrive := sd.secure.Link().SendUp(bob.FullPacketBytes, now+sd.cfg.CryptoCycles)
+	if ctx.a.OnResponse != nil {
+		ctx.a.OnResponse(respArrive)
+	}
+	sd.reading = nil
+	if sd.writing == nil {
+		sd.startWrite(ctx, now)
+	} else {
+		sd.pendingWrite = ctx // previous write-back still draining
+	}
+	sd.tryStart(now)
+}
+
+func (sd *SD) startWrite(ctx *sdAccess, now uint64) {
+	sd.writing = ctx
+	ctx.phaseStart = now
+	z := sd.lay.Params().Z
+	ctx.writesLeft = len(ctx.trace.WriteNodes) * z
+	for _, node := range ctx.trace.WriteNodes {
+		for slot := 0; slot < z; slot++ {
+			pl := sd.lay.Place(node, slot)
+			if pl.Remote {
+				sd.remoteWrite(ctx, pl, now)
+			} else {
+				sd.localIssue(pl, mc.OpWrite, now, func(t uint64) { sd.writeDone(ctx, t) })
+			}
+		}
+	}
+}
+
+// remoteWrite forwards one relocated block's updated content to its normal
+// channel: a full write packet up the secure link, forwarded down the
+// normal channel's link, then a posted DRAM write (fire and forget).
+func (sd *SD) remoteWrite(ctx *sdAccess, pl layout.Placement, now uint64) {
+	sd.stats.RemoteBlocks.Inc()
+	nc := sd.normals[pl.Channel-1]
+	a1 := sd.secure.Link().SendUp(bob.FullPacketBytes, now)
+	a2 := nc.Link().SendDown(bob.FullPacketBytes, a1+sd.cfg.FwdDelay)
+	coord := sd.normalMap[pl.Channel-1].Map(sd.cfg.OramBase + pl.Addr)
+	// Plain write from the unupgraded normal channel's point of view.
+	req := &mc.Request{Op: mc.OpWrite, Coord: coord, AppID: -1}
+	sub := nc.SubChannels()[0]
+	var attempt func(uint64)
+	attempt = func(n uint64) {
+		if !sub.Enqueue(req, clock.ToMem(n)) {
+			sd.sched.Add(n+sd.cfg.RetryInterval, attempt)
+			return
+		}
+		sd.writeDone(ctx, n)
+	}
+	sd.sched.Add(a2, attempt)
+}
+
+// writeDone accounts one finished block write; the last one closes the
+// access, promotes a parked write-back and starts any buffered request.
+func (sd *SD) writeDone(ctx *sdAccess, now uint64) {
+	ctx.writesLeft--
+	if ctx.writesLeft > 0 {
+		return
+	}
+	sd.stats.WritePhase.Observe(now - ctx.phaseStart)
+	sd.writing = nil
+	if sd.pendingWrite != nil {
+		next := sd.pendingWrite
+		sd.pendingWrite = nil
+		sd.startWrite(next, now)
+	}
+	sd.tryStart(now)
+}
+
+// Tick processes due events; call once per memory-clock edge.
+func (sd *SD) Tick(now uint64) { sd.sched.Run(now) }

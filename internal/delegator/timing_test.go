@@ -1,0 +1,67 @@
+package delegator
+
+import (
+	"testing"
+
+	"doram/internal/clock"
+)
+
+// TestTimingChannelRequestRateIndependentOfLoad pins §III-G's timing-
+// channel defence: the engine emits requests at the same fixed cadence
+// whether the S-App is hammering memory or completely idle, so an
+// observer of the request stream cannot tell the difference.
+func TestTimingChannelRequestRateIndependentOfLoad(t *testing.T) {
+	requestTimes := func(loaded bool) []uint64 {
+		r := newRig(t, 0, DefaultPace)
+		// Count engine sends per window via its statistics.
+		const horizon = 400000
+		const window = 50000
+		counts := make([]uint64, 0, horizon/window)
+		var prevSent uint64
+		for w := uint64(0); w < horizon; w += window {
+			if loaded {
+				for r.engine.QueueLen() < 8 {
+					r.engine.Access(false, uint64(w)+uint64(r.engine.QueueLen())*640, w, nil)
+				}
+			}
+			r.run(w, window)
+			sent := r.engine.Stats().RealSent.Value() + r.engine.Stats().DummySent.Value()
+			counts = append(counts, sent-prevSent)
+			prevSent = sent
+		}
+		return counts
+	}
+	idle := requestTimes(false)
+	loaded := requestTimes(true)
+	// Skip the first (cold) window; the per-window request counts must
+	// match closely between the idle (all dummy) and loaded (all real)
+	// streams.
+	for i := 1; i < len(idle); i++ {
+		a, b := idle[i], loaded[i]
+		diff := int64(a) - int64(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		if a == 0 || float64(diff)/float64(a) > 0.05 {
+			t.Fatalf("window %d: idle sent %d, loaded sent %d — request rate leaks load", i, a, b)
+		}
+	}
+}
+
+// TestResponsePacingExactlyT checks that consecutive requests depart
+// exactly t cycles after the previous response arrives, never earlier.
+func TestResponsePacingExactlyT(t *testing.T) {
+	const pace = 300
+	r := newRig(t, 0, pace)
+	r.run(0, 400000)
+	st := r.engine.Stats()
+	if st.Turnaround.Count() < 10 {
+		t.Fatalf("too few turnarounds (%d)", st.Turnaround.Count())
+	}
+	// Mean turnaround = response latency; the engine then waits `pace`
+	// before the next send, so accesses cannot complete faster than the
+	// SD's access time and never violate the pace floor.
+	if uint64(st.Turnaround.Min()) < clock.NanosToCPU(50) {
+		t.Fatalf("turnaround min %d implausibly small", st.Turnaround.Min())
+	}
+}

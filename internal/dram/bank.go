@@ -1,0 +1,81 @@
+package dram
+
+// RowNone marks a bank with no open row (precharged or never activated).
+const RowNone = int64(-1)
+
+// Bank tracks the row-buffer state and per-bank earliest-issue times of one
+// DRAM bank. The "next*" fields are absolute memory-cycle timestamps before
+// which the corresponding command may not issue.
+type Bank struct {
+	openRow int64
+
+	nextActivate  uint64
+	nextPrecharge uint64
+	nextRead      uint64
+	nextWrite     uint64
+}
+
+// NewBank returns a precharged, idle bank.
+func NewBank() Bank {
+	return Bank{openRow: RowNone}
+}
+
+// OpenRow returns the currently open row, or RowNone.
+func (b *Bank) OpenRow() int64 { return b.openRow }
+
+// IsOpen reports whether row is currently open in the bank.
+func (b *Bank) IsOpen(row int64) bool { return b.openRow != RowNone && b.openRow == row }
+
+// canActivate reports whether an ACT may issue at cycle now.
+func (b *Bank) canActivate(now uint64) bool {
+	return b.openRow == RowNone && now >= b.nextActivate
+}
+
+// canPrecharge reports whether a PRE may issue at cycle now.
+func (b *Bank) canPrecharge(now uint64) bool {
+	return b.openRow != RowNone && now >= b.nextPrecharge
+}
+
+// canRead reports whether a RD to row may issue at cycle now.
+func (b *Bank) canRead(row int64, now uint64) bool {
+	return b.IsOpen(row) && now >= b.nextRead
+}
+
+// canWrite reports whether a WR to row may issue at cycle now.
+func (b *Bank) canWrite(row int64, now uint64) bool {
+	return b.IsOpen(row) && now >= b.nextWrite
+}
+
+// activate opens row at cycle now, updating bank-local constraints.
+func (b *Bank) activate(row int64, now uint64, t Timing) {
+	b.openRow = row
+	b.nextRead = maxU64(b.nextRead, now+t.RCD)
+	b.nextWrite = maxU64(b.nextWrite, now+t.RCD)
+	b.nextPrecharge = maxU64(b.nextPrecharge, now+t.RAS)
+	b.nextActivate = maxU64(b.nextActivate, now+t.RC)
+}
+
+// precharge closes the open row at cycle now.
+func (b *Bank) precharge(now uint64, t Timing) {
+	b.openRow = RowNone
+	b.nextActivate = maxU64(b.nextActivate, now+t.RP)
+}
+
+// read issues a column read at cycle now.
+func (b *Bank) read(now uint64, t Timing) {
+	// Read to precharge: tRTP.
+	b.nextPrecharge = maxU64(b.nextPrecharge, now+t.RTP)
+}
+
+// write issues a column write at cycle now.
+func (b *Bank) write(now uint64, t Timing) {
+	// Write recovery: data end (CWL+burst) plus tWR before precharge.
+	b.nextPrecharge = maxU64(b.nextPrecharge, now+t.CWL+t.BurstCycles+t.WR)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package dram
+
+// Energy accounting in the style of USIMM's Micron power model, reduced
+// to per-event energies: each command class contributes a fixed energy
+// and ranks draw background power while powered. Values are representative
+// of a 2 Gb DDR3-1600 x8 rank (8 devices) at 1.5 V, derived from the
+// Micron IDD current tables the USIMM distribution ships.
+type PowerParams struct {
+	ActPreNJ     float64 // one ACT+PRE pair, whole rank
+	ReadBurstNJ  float64 // one BL8 read burst, including I/O
+	WriteBurstNJ float64 // one BL8 write burst, including ODT
+	RefreshNJ    float64 // one all-bank refresh
+	BackgroundMW float64 // static background power per rank
+}
+
+// DDR31600Power returns the representative energy parameters.
+func DDR31600Power() PowerParams {
+	return PowerParams{
+		ActPreNJ:     22,
+		ReadBurstNJ:  18,
+		WriteBurstNJ: 20,
+		RefreshNJ:    260,
+		BackgroundMW: 380,
+	}
+}
+
+// EnergyBreakdown is a channel's consumed energy in microjoules.
+type EnergyBreakdown struct {
+	ActPre     float64
+	Read       float64
+	Write      float64
+	Refresh    float64
+	Background float64
+}
+
+// Total returns the summed energy in microjoules.
+func (e EnergyBreakdown) Total() float64 {
+	return e.ActPre + e.Read + e.Write + e.Refresh + e.Background
+}
+
+// Energy computes the channel's energy over elapsed memory cycles from its
+// command counters. Precharge counts follow activates (every row open
+// eventually closes), so the ACT+PRE pair energy is charged per activate.
+func (ch *Channel) Energy(p PowerParams, elapsedMemCycles uint64) EnergyBreakdown {
+	s := ch.Stats()
+	seconds := float64(elapsedMemCycles) * 1.25e-9 // 800 MHz memory clock
+	return EnergyBreakdown{
+		ActPre:     float64(s.Activates.Value()) * p.ActPreNJ * 1e-3,
+		Read:       float64(s.Reads.Value()) * p.ReadBurstNJ * 1e-3,
+		Write:      float64(s.Writes.Value()) * p.WriteBurstNJ * 1e-3,
+		Refresh:    float64(s.Refreshes.Value()) * p.RefreshNJ * 1e-3,
+		Background: p.BackgroundMW * 1e-3 * seconds * 1e6 * float64(ch.NumRanks()),
+	}
+}

@@ -1,0 +1,108 @@
+package dram
+
+// Rank groups banks that share activation-window (tFAW), ACT-to-ACT (tRRD)
+// and write-to-read turnaround (tWTR) constraints, plus the refresh state
+// machine.
+type Rank struct {
+	banks []Bank
+
+	// Ring of the most recent four ACT timestamps, for tFAW.
+	actTimes [4]uint64
+	actHead  int
+	actCount int
+
+	nextRead  uint64 // rank-level RD constraint (tWTR)
+	nextWrite uint64 // rank-level WR constraint
+
+	// CAS and ACT spacing state, bank-group aware (tCCD_S/tCCD_L and
+	// tRRD_S/tRRD_L under DDR4; plain tCCD/tRRD otherwise).
+	hasCAS      bool
+	lastCASBank int
+	lastCASTime uint64
+	hasAct      bool
+	lastActBank int
+	lastActTime uint64
+
+	// Refresh bookkeeping.
+	nextRefreshDue uint64 // when the next REF should be issued
+	refreshUntil   uint64 // rank unavailable until this cycle during REF
+	pendingRefresh bool
+}
+
+// NewRank builds a rank with n precharged banks.
+func NewRank(n int, t Timing) *Rank {
+	r := &Rank{banks: make([]Bank, n)}
+	for i := range r.banks {
+		r.banks[i] = NewBank()
+	}
+	r.nextRefreshDue = t.REFI
+	return r
+}
+
+// NumBanks returns the number of banks in the rank.
+func (r *Rank) NumBanks() int { return len(r.banks) }
+
+// Bank returns bank i for inspection.
+func (r *Rank) Bank(i int) *Bank { return &r.banks[i] }
+
+// inRefresh reports whether the rank is busy refreshing at cycle now.
+func (r *Rank) inRefresh(now uint64) bool { return now < r.refreshUntil }
+
+// refreshDue reports whether a refresh should be scheduled at or before now.
+func (r *Rank) refreshDue(now uint64) bool { return now >= r.nextRefreshDue }
+
+// fawOK reports whether a new ACT at cycle now keeps at most 4 ACTs within
+// any tFAW window.
+func (r *Rank) fawOK(now uint64, t Timing) bool {
+	if r.actCount < len(r.actTimes) {
+		return true
+	}
+	return now >= r.actTimes[r.actHead]+t.FAW
+}
+
+func (r *Rank) recordAct(now uint64) {
+	r.actTimes[r.actHead] = now
+	r.actHead = (r.actHead + 1) % len(r.actTimes)
+	if r.actCount < len(r.actTimes) {
+		r.actCount++
+	}
+}
+
+// casOK reports whether a column command to bank satisfies CAS spacing.
+func (r *Rank) casOK(bank int, now uint64, t Timing) bool {
+	return !r.hasCAS || now >= r.lastCASTime+t.ccdFor(r.lastCASBank, bank)
+}
+
+// actOK reports whether an ACT to bank satisfies ACT-to-ACT spacing.
+func (r *Rank) actOK(bank int, now uint64, t Timing) bool {
+	return !r.hasAct || now >= r.lastActTime+t.rrdFor(r.lastActBank, bank)
+}
+
+func (r *Rank) recordCAS(bank int, now uint64) {
+	r.hasCAS, r.lastCASBank, r.lastCASTime = true, bank, now
+}
+
+func (r *Rank) recordActSpacing(bank int, now uint64) {
+	r.hasAct, r.lastActBank, r.lastActTime = true, bank, now
+}
+
+// allPrecharged reports whether every bank has its row closed.
+func (r *Rank) allPrecharged() bool {
+	for i := range r.banks {
+		if r.banks[i].openRow != RowNone {
+			return false
+		}
+	}
+	return true
+}
+
+// startRefresh begins a REF cycle at now; the rank is unusable for tRFC and
+// all per-bank ACT constraints are pushed past it.
+func (r *Rank) startRefresh(now uint64, t Timing) {
+	r.refreshUntil = now + t.RFC
+	r.nextRefreshDue += t.REFI
+	r.pendingRefresh = false
+	for i := range r.banks {
+		r.banks[i].nextActivate = maxU64(r.banks[i].nextActivate, r.refreshUntil)
+	}
+}

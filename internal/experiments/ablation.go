@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"doram/internal/clock"
+	"doram/internal/core"
+	"doram/internal/mc"
+)
+
+// AblationRow is one configuration point of a design-choice sweep.
+type AblationRow struct {
+	Label string
+	// NSExec is the average NS execution time normalized to the sweep's
+	// first row.
+	NSExec float64
+	// ORAMAccessNs is the S-App's mean ORAM access time.
+	ORAMAccessNs float64
+}
+
+// AblationSummary is one completed sweep.
+type AblationSummary struct {
+	Name string
+	Rows []AblationRow
+}
+
+// runAblation executes a sweep of configs and normalizes NS execution to
+// the first entry.
+func runAblation(o Options, name string, labels []string, cfgs []core.Config) (*AblationSummary, *Table, error) {
+	res, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum := &AblationSummary{Name: name}
+	base := res[0].AvgNSFinish()
+	for i, r := range res {
+		row := AblationRow{Label: labels[i], NSExec: r.AvgNSFinish() / base}
+		if r.SApp != nil && r.SApp.ReadPhase.Count() > 0 {
+			row.ORAMAccessNs = clock.CPUToNanos(uint64(r.SApp.ReadPhase.Mean() + r.SApp.WritePhase.Mean()))
+		}
+		sum.Rows = append(sum.Rows, row)
+	}
+	t := &Table{Title: "Ablation: " + name, Header: []string{"config", "NS exec (norm)", "ORAM access (ns)"}}
+	for _, r := range sum.Rows {
+		t.AddRow(r.Label, f3(r.NSExec), f2(r.ORAMAccessNs))
+	}
+	return sum, t, nil
+}
+
+// AblationSubtreeLayout quantifies the subtree layout of Ren et al. [32]:
+// depth 7 (the paper's choice, near-perfect row hits along a path) versus
+// depth 1 (naive level-order layout, a row miss per level).
+func AblationSubtreeLayout(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"subtree-7 (paper)", "subtree-4", "subtree-1 (naive)"}
+	var cfgs []core.Config
+	for _, depth := range []int{7, 4, 1} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.SubtreeLevels = depth
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "ORAM subtree layout depth ("+bench+")", labels, cfgs)
+}
+
+// AblationPace sweeps the timing-protection interval t (§III-B, paper
+// t=50): smaller t means a denser ORAM request stream and more
+// interference; larger t throttles the S-App.
+func AblationPace(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"t=50 (paper)", "t=10", "t=200", "t=1000"}
+	var cfgs []core.Config
+	for _, pace := range []uint64{50, 10, 200, 1000} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.Pace = pace
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "timing-protection pace t ("+bench+")", labels, cfgs)
+}
+
+// AblationLinkLatency sweeps the BOB buffer-logic+link latency (Table II,
+// 15 ns from Twin-Load): D-ORAM's NS path crosses the link twice per read,
+// so this prices the architecture's fixed cost.
+func AblationLinkLatency(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"15ns (paper)", "5ns", "30ns", "60ns"}
+	var cfgs []core.Config
+	for _, ns := range []float64{15, 5, 30, 60} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.LinkLatencyNs = ns
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "BOB link latency ("+bench+")", labels, cfgs)
+}
+
+// AblationCoopThreshold sweeps the cooperative bandwidth-preallocation
+// share (§IV, paper 0.5): higher shares favour the S-App on the secure
+// channel at the NS-Apps' cost.
+func AblationCoopThreshold(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"50% (paper)", "25%", "75%"}
+	var cfgs []core.Config
+	for _, thr := range []float64{0.5, 0.25, 0.75} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.CoopThreshold = thr
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "cooperative preallocation threshold ("+bench+")", labels, cfgs)
+}
+
+// AblationScheduler compares memory scheduling policies under the D-ORAM
+// co-run: FR-FCFS (USIMM's reference, the evaluation default), strict
+// FCFS, and close-page.
+func AblationScheduler(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"fr-fcfs (paper)", "fcfs", "close-page"}
+	var cfgs []core.Config
+	for _, pol := range []mc.Policy{mc.FRFCFS, mc.FCFS, mc.ClosePage} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.MCPolicy = pol
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "memory scheduling policy ("+bench+")", labels, cfgs)
+}
+
+// AblationMemoryGen compares the paper's DDR3-1600 memory against
+// DDR4-2400 (bank groups, higher rate) under the D-ORAM co-run.
+func AblationMemoryGen(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"DDR3-1600 (paper)", "DDR4-2400"}
+	var cfgs []core.Config
+	for _, d4 := range []bool{false, true} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.DDR4 = d4
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "memory generation ("+bench+")", labels, cfgs)
+}
+
+// AblationPhaseOverlap compares the paper's strict phase buffering
+// (§III-B) against the read/write phase overlap of Wang et al. [39].
+func AblationPhaseOverlap(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"buffered (paper)", "overlapped [39]"}
+	var cfgs []core.Config
+	for _, ov := range []bool{false, true} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.OverlapPhases = ov
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "SD phase pipelining ("+bench+")", labels, cfgs)
+}
+
+// AblationForkPath compares D-ORAM with and without the Fork Path
+// redundant-access elimination [44].
+func AblationForkPath(o Options, bench string) (*AblationSummary, *Table, error) {
+	labels := []string{"full paths (paper)", "fork path [44]"}
+	var cfgs []core.Config
+	for _, fp := range []bool{false, true} {
+		cfg := doramConfig(o, bench, 0, core.AllNS)
+		cfg.ForkPath = fp
+		cfgs = append(cfgs, cfg)
+	}
+	return runAblation(o, "fork-path elimination ("+bench+")", labels, cfgs)
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+
+	"doram/internal/clock"
+	"doram/internal/core"
+)
+
+// TestDebugBaselineORAMPressure prints the Path ORAM baseline's activity
+// against the NS-Apps; diagnostic only.
+func TestDebugBaselineORAMPressure(t *testing.T) {
+	o := QuickOptions()
+	res, err := runAll(o, []core.Config{baselineConfig(o, "face")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	t.Logf("NS finish avg=%.0f cycles; NS readLat=%.0f writeLat=%.0f",
+		r.AvgNSFinish(), r.AvgReadLatency(), r.AvgWriteLatency())
+	if r.SApp != nil {
+		t.Logf("ORAM: accesses=%d real=%d dummy=%d", r.SApp.Accesses.Value(),
+			r.SApp.RealAccesses.Value(), r.SApp.DummyAccesses.Value())
+		t.Logf("ORAM: readPhase=%.0fns writePhase=%.0fns",
+			clock.CPUToNanos(uint64(r.SApp.ReadPhase.Mean())),
+			clock.CPUToNanos(uint64(r.SApp.WritePhase.Mean())))
+	}
+	for ch := 0; ch < 4; ch++ {
+		t.Logf("ch%d: busBusy=%d (of %d cyc) reads=%d lat=%.0f",
+			ch, r.ChannelDataBusBusy[ch], r.Cycles/4,
+			r.ReadLatPerChannel[ch].Count(), r.ReadLatPerChannel[ch].Mean())
+	}
+}

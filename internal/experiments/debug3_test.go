@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"doram/internal/clock"
+	"doram/internal/core"
+)
+
+// TestDebugFig13Breakdown prints the latency components behind Figure 13;
+// diagnostic only.
+func TestDebugFig13Breakdown(t *testing.T) {
+	o := QuickOptions()
+	for _, bench := range o.benchmarks() {
+		cfgs := []core.Config{
+			baselineConfig(o, bench),
+			doramConfig(o, bench, 1, core.AllNS),
+			doramConfig(o, bench, 0, 4),
+		}
+		res, err := runAll(o, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := []string{"baseline", "doram+1", "doram/4"}
+		for i, r := range res {
+			t.Logf("%-7s %-9s readLat=%5.0fns writeLat=%5.0fns ch0lat=%5.0fns ch1lat=%5.0fns",
+				bench, names[i],
+				clock.CPUToNanos(uint64(r.AvgReadLatency())),
+				clock.CPUToNanos(uint64(r.AvgWriteLatency())),
+				clock.CPUToNanos(uint64(r.ReadLatPerChannel[0].Mean())),
+				clock.CPUToNanos(uint64(r.ReadLatPerChannel[1].Mean())))
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"doram/internal/core"
+)
+
+// TestDebugChannelLatencies prints per-channel NS latency detail for the
+// channel-partition scenarios; it is a diagnostic aid, not an assertion.
+func TestDebugChannelLatencies(t *testing.T) {
+	o := QuickOptions()
+	for _, tc := range []struct {
+		name  string
+		chans []int
+	}{{"4ch", nil}, {"3ch", []int{1, 2, 3}}} {
+		res, err := runAll(o, []core.Config{corunConfig(o, "black", tc.chans)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := res[0]
+		t.Logf("%s: finish=%.0f", tc.name, r.AvgNSFinish())
+		for ch := 0; ch < 4; ch++ {
+			t.Logf("  ch%d: reads=%d meanLat=%.0f writes=%d wLat=%.0f busBusy=%d",
+				ch, r.ReadLatPerChannel[ch].Count(), r.ReadLatPerChannel[ch].Mean(),
+				r.WriteLatPerChannel[ch].Count(), r.WriteLatPerChannel[ch].Mean(),
+				r.ChannelDataBusBusy[ch])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import "doram/internal/core"
+
+// Fig11Row holds one benchmark's normalized execution time at every
+// secure-channel sharing setting, plus the channel-partition references.
+type Fig11Row struct {
+	Bench string
+	C     [8]float64 // normalized execution time at c = 0..7
+	BestC int
+	NS3   float64 // 7NS-3ch reference
+	NS4   float64 // 7NS-4ch reference
+}
+
+// Fig11Summary is the full sharing sweep.
+type Fig11Summary struct {
+	Rows []Fig11Row
+}
+
+// Figure11 reproduces Figure 11: the performance impact of allowing c of
+// the seven NS-Apps to allocate on the secure channel, with the 7NS-3ch
+// and 7NS-4ch partitions for comparison. Values are normalized to the
+// Path ORAM baseline, like Figure 9.
+func Figure11(o Options) (*Fig11Summary, *Table, error) {
+	benches := o.benchmarks()
+	var cfgs []core.Config
+	for _, b := range benches {
+		cfgs = append(cfgs, baselineConfig(o, b))
+		for c := 0; c <= 7; c++ {
+			cfgs = append(cfgs, doramConfig(o, b, 0, c))
+		}
+		cfgs = append(cfgs,
+			corunConfig(o, b, []int{1, 2, 3}),
+			corunConfig(o, b, nil),
+		)
+	}
+	res, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sum := &Fig11Summary{}
+	const perBench = 1 + 8 + 2
+	for i, b := range benches {
+		base := res[i*perBench].AvgNSFinish()
+		row := Fig11Row{Bench: b}
+		best := 0.0
+		for c := 0; c <= 7; c++ {
+			v := res[i*perBench+1+c].AvgNSFinish() / base
+			row.C[c] = v
+			if c == 0 || v < best {
+				best, row.BestC = v, c
+			}
+		}
+		row.NS3 = res[i*perBench+9].AvgNSFinish() / base
+		row.NS4 = res[i*perBench+10].AvgNSFinish() / base
+		sum.Rows = append(sum.Rows, row)
+	}
+
+	t := &Table{
+		Title: "Figure 11: NS execution time vs secure-channel sharing c (normalized to baseline)",
+		Header: []string{"bench", "c=0", "c=1", "c=2", "c=3", "c=4", "c=5", "c=6", "c=7",
+			"bestC", "7NS-3ch", "7NS-4ch"},
+	}
+	for _, r := range sum.Rows {
+		t.AddRow(r.Bench,
+			f3(r.C[0]), f3(r.C[1]), f3(r.C[2]), f3(r.C[3]),
+			f3(r.C[4]), f3(r.C[5]), f3(r.C[6]), f3(r.C[7]),
+			itoa(r.BestC), f3(r.NS3), f3(r.NS4))
+	}
+	return sum, t, nil
+}

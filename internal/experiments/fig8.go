@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"doram/internal/clock"
+	"doram/internal/core"
+)
+
+// Fig8Row holds per-channel average NS read latencies (nanoseconds) for
+// one scenario of Figure 8.
+type Fig8Row struct {
+	Scenario string
+	Chan     [core.NumChannels]float64
+}
+
+// Fig8Summary illustrates §III-D: channel access latencies under channel
+// partition and under D-ORAM before/after sharing control.
+type Fig8Summary struct {
+	Rows []Fig8Row
+}
+
+// Figure8 reproduces Figure 8's latency comparison for one benchmark:
+// (a) NS-Apps on all four channels (no S-App), (b) NS-Apps on three
+// channels, (c) D-ORAM with every NS-App allowed on the secure channel,
+// (d) D-ORAM with sharing limited (c=4) to balance T_a and T_b.
+func Figure8(o Options, bench string) (*Fig8Summary, *Table, error) {
+	cfgs := []core.Config{
+		corunConfig(o, bench, nil),
+		corunConfig(o, bench, []int{1, 2, 3}),
+		doramConfig(o, bench, 0, core.AllNS),
+		doramConfig(o, bench, 0, 4),
+	}
+	res, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := []string{"7NS-4ch (no S-App)", "7NS-3ch (no S-App)", "D-ORAM c=all", "D-ORAM c=4"}
+	sum := &Fig8Summary{}
+	for i, r := range res {
+		row := Fig8Row{Scenario: names[i]}
+		for ch := 0; ch < core.NumChannels; ch++ {
+			if r.ReadLatPerChannel[ch].Count() > 0 {
+				row.Chan[ch] = clock.CPUToNanos(uint64(r.ReadLatPerChannel[ch].Mean()))
+			}
+		}
+		sum.Rows = append(sum.Rows, row)
+	}
+
+	t := &Table{
+		Title:  "Figure 8: per-channel NS read latency (ns), benchmark " + bench,
+		Header: []string{"scenario", "ch0(secure)", "ch1", "ch2", "ch3"},
+	}
+	for _, r := range sum.Rows {
+		t.AddRow(r.Scenario, f2(r.Chan[0]), f2(r.Chan[1]), f2(r.Chan[2]), f2(r.Chan[3]))
+	}
+	t.Notes = append(t.Notes,
+		"fewer channels -> higher latency; the secure channel is slowest under c=all and re-balances under c=4")
+	return sum, t, nil
+}

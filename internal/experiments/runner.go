@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"doram/internal/core"
+	"doram/internal/trace"
+)
+
+// Options tunes an experiment sweep.
+type Options struct {
+	// TraceLen is the memory accesses each core replays per run.
+	TraceLen uint64
+	// Seed drives all randomness (traces, ORAM remapping).
+	Seed uint64
+	// Benchmarks restricts the workload set; nil means all 15 (Table III).
+	Benchmarks []string
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultOptions returns the evaluation defaults: every Table III
+// benchmark at a trace length long enough for steady-state queues.
+func DefaultOptions() Options {
+	return Options{TraceLen: 8000, Seed: 42}
+}
+
+// QuickOptions returns a reduced sweep for benchmarks and smoke tests.
+func QuickOptions() Options {
+	return Options{TraceLen: 2500, Seed: 42, Benchmarks: []string{"black", "face", "libq"}}
+}
+
+func (o Options) benchmarks() []string {
+	if o.Benchmarks != nil {
+		return o.Benchmarks
+	}
+	return trace.Names()
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// apply stamps the option's run-scale fields onto a config. Latency
+// statistics discard a cold-start warmup proportional to the run length.
+func (o Options) apply(cfg core.Config) core.Config {
+	cfg.TraceLen = o.TraceLen
+	cfg.Seed = o.Seed
+	cfg.LatencyWarmup = o.TraceLen / 20
+	return cfg
+}
+
+// runAll executes the configs concurrently and returns results in order.
+func runAll(o Options, cfgs []core.Config) ([]*core.Results, error) {
+	results := make([]*core.Results, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, o.parallelism())
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg core.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = sys.Run()
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: run %d (%s/%s): %w",
+				i, cfgs[i].Scheme, cfgs[i].Benchmark, err)
+		}
+	}
+	return results, nil
+}
+
+// soloConfig is the 1NS reference run (no co-runners, all channels).
+func soloConfig(o Options, bench string) core.Config {
+	cfg := core.DefaultConfig(core.NonSecure, bench)
+	cfg.NumNS = 1
+	cfg.HasSApp = false
+	return o.apply(cfg)
+}
+
+// corunConfig is 7 NS-Apps with no S-App on the given channels.
+func corunConfig(o Options, bench string, channels []int) core.Config {
+	cfg := core.DefaultConfig(core.NonSecure, bench)
+	cfg.NumNS = 7
+	cfg.HasSApp = false
+	cfg.NSChannels = channels
+	return o.apply(cfg)
+}
+
+// doramConfig is the 1S7NS D-ORAM run with split k and sharing c.
+func doramConfig(o Options, bench string, k, c int) core.Config {
+	cfg := core.DefaultConfig(core.DORAM, bench)
+	cfg.SplitK = k
+	cfg.SecureSharers = c
+	return o.apply(cfg)
+}
+
+// baselineConfig is the 1S7NS Path ORAM baseline run.
+func baselineConfig(o Options, bench string) core.Config {
+	return o.apply(core.DefaultConfig(core.PathORAMBaseline, bench))
+}
+
+// geoMean returns the geometric mean of positive values.
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			prod *= x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}

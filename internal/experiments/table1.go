@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"doram/internal/oram"
+	"doram/internal/oram/layout"
+)
+
+// Table1Row holds one split depth's space distribution and extra-message
+// counts (Table I).
+type Table1Row struct {
+	K            int
+	Ch0Share     float64
+	NormalShare  float64 // per normal channel
+	Ch0Messages  int     // short reads = responses = writes, each
+	NormalMsgMin int
+	NormalMsgMax int
+}
+
+// TableI reproduces Table I analytically from the layout implementation:
+// the block distribution across channels and the extra serial-link
+// messages per ORAM access when the last k levels are relocated.
+func TableI() ([]Table1Row, *Table) {
+	var rows []Table1Row
+	p := oram.PaperParams()
+	for k := 1; k <= 3; k++ {
+		pk := p
+		pk.Levels += k // the expanded tree (§III-C)
+		lay := layout.New(pk, layout.DefaultSubtreeLevels, k)
+		dist := lay.BlockDistribution()
+		ch0, lo, hi := layout.ExtraMessages(k, p.Z)
+		rows = append(rows, Table1Row{
+			K:            k,
+			Ch0Share:     dist[0],
+			NormalShare:  dist[1],
+			Ch0Messages:  ch0,
+			NormalMsgMin: lo,
+			NormalMsgMax: hi,
+		})
+	}
+
+	t := &Table{
+		Title: "Table I: space distribution and extra messages per access under tree split",
+		Header: []string{"k", "ch0 blocks", "ch1-3 blocks (each)",
+			"ch0 extra msgs (each kind)", "normal msgs (each kind)"},
+	}
+	for _, r := range rows {
+		t.AddRow(itoa(r.K), pct(r.Ch0Share), pct(r.NormalShare),
+			itoa(r.Ch0Messages), itoa(r.NormalMsgMin)+".."+itoa(r.NormalMsgMax))
+	}
+	t.Notes = append(t.Notes,
+		"paper reference: k=1 50.0%/16.7%, k=2 25.0%/25.0%, k=3 12.5%/29.2%; 4k packets on ch0, m in [k,2k] per normal channel")
+	return rows, t
+}

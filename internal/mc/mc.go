@@ -1,0 +1,547 @@
+// Package mc implements a per-bus DRAM memory controller: read and write
+// queues, First-Ready First-Come-First-Served (FR-FCFS) scheduling with an
+// open-page policy, watermark-based write draining, refresh management and
+// the cooperative bandwidth-preallocation policy of Wang et al. (HPCA'17)
+// used when an ORAM engine shares a bus with normal applications.
+//
+// The controller operates in memory-bus cycles; callers convert CPU cycles
+// at the boundary (4 CPU cycles per memory cycle for DDR3-1600 under a
+// 3.2 GHz core).
+package mc
+
+import (
+	"fmt"
+
+	"doram/internal/addrmap"
+	"doram/internal/dram"
+	"doram/internal/stats"
+)
+
+// OpType distinguishes reads from writes.
+type OpType int
+
+// Request operation types.
+const (
+	OpRead OpType = iota
+	OpWrite
+)
+
+// String names the operation.
+func (o OpType) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one cache-line transaction presented to a controller.
+type Request struct {
+	Op     OpType
+	Coord  addrmap.Coord
+	AppID  int
+	Secure bool // issued by an ORAM engine; subject to cooperative sharing
+
+	Arrival uint64 // memory cycle the request entered the queue
+
+	// OnComplete, if non-nil, fires once when the request's data transfer
+	// finishes (reads: last beat received; writes: last beat written to the
+	// device). The done argument is in memory cycles.
+	OnComplete func(r *Request, done uint64)
+}
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+// Scheduling policies (the axis the Memory Scheduling Championship that
+// produced the paper's workloads explores).
+const (
+	// FRFCFS is First-Ready FCFS: ready row hits first, then oldest-first
+	// bank progress under an open-page policy. USIMM's reference
+	// scheduler and the evaluation default.
+	FRFCFS Policy = iota
+	// FCFS serves strictly in arrival order: no row-hit reordering.
+	FCFS
+	// ClosePage is FR-FCFS with an auto-precharge after every column
+	// access: no open rows are left behind, trading row-hit locality for
+	// predictable conflict latency.
+	ClosePage
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FRFCFS:
+		return "fr-fcfs"
+	case FCFS:
+		return "fcfs"
+	case ClosePage:
+		return "close-page"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config tunes a controller.
+type Config struct {
+	Policy         Policy
+	ReadQueueCap   int
+	WriteQueueCap  int
+	WriteDrainHi   int // start draining writes at this occupancy
+	WriteDrainLo   int // stop draining at this occupancy
+	StarvationAge  uint64
+	CoopThreshold  float64 // ORAM's bandwidth share when contended (0,1)
+	CoopStreak     int     // ORAM column issues per preallocation batch
+	CoopEnabled    bool
+	RefreshEnabled bool
+}
+
+// DefaultConfig returns the queue and policy parameters used throughout the
+// evaluation (USIMM-like defaults; 50% preallocation per the paper, §IV).
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueCap:   64,
+		WriteQueueCap:  64,
+		WriteDrainHi:   40,
+		WriteDrainLo:   20,
+		StarvationAge:  600,
+		CoopThreshold:  0.5,
+		CoopStreak:     21,
+		CoopEnabled:    false,
+		RefreshEnabled: true,
+	}
+}
+
+// QueueStats aggregates controller-level queue behaviour.
+type QueueStats struct {
+	Enqueued      stats.Counter
+	ReadsDone     stats.Counter
+	WritesDone    stats.Counter
+	ReadRejects   stats.Counter
+	WriteRejects  stats.Counter
+	RowHits       stats.Counter
+	RowMisses     stats.Counter
+	QueueOccupied stats.Utilization // read queue occupancy integral
+}
+
+type pendingDone struct {
+	req  *Request
+	done uint64
+}
+
+// Controller schedules requests onto one dram.Channel.
+type Controller struct {
+	cfg Config
+	ch  *dram.Channel
+
+	readQ  []*Request
+	writeQ []*Request
+
+	draining bool
+
+	// Cooperative preallocation state (Wang et al. [39]): when ORAM and
+	// normal requests contend, issue slots alternate in coarse batches so
+	// ORAM keeps CoopThreshold of the bandwidth but a normal request still
+	// waits out part of an ORAM phase streak — the §III-D effect that
+	// makes the secure channel slower than normal channels.
+	coopSecTurn bool
+	coopCount   int
+
+	// pendingClose holds banks awaiting the explicit precharge the
+	// close-page policy issues after every column access.
+	pendingClose []addrmap.Coord
+
+	inflight []pendingDone
+
+	stats QueueStats
+}
+
+// New builds a controller over ch.
+func New(ch *dram.Channel, cfg Config) *Controller {
+	return &Controller{cfg: cfg, ch: ch, coopSecTurn: true}
+}
+
+// Channel returns the underlying DRAM channel.
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// Stats returns queue statistics.
+func (c *Controller) Stats() *QueueStats { return &c.stats }
+
+// QueueLen returns current read and write queue occupancies.
+func (c *Controller) QueueLen() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Idle reports whether the controller holds no queued or in-flight work.
+func (c *Controller) Idle() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.inflight) == 0
+}
+
+// Enqueue admits a request at memory cycle now. It returns false when the
+// corresponding queue is full; the caller must retry later (modelling
+// back-pressure into the core or the BOB packet queue).
+func (c *Controller) Enqueue(r *Request, now uint64) bool {
+	switch r.Op {
+	case OpRead:
+		// Forward from the write queue when the line is being written:
+		// the data is already at the controller.
+		for _, w := range c.writeQ {
+			if w.Coord == r.Coord {
+				r.Arrival = now
+				c.stats.Enqueued.Inc()
+				c.complete(r, now)
+				return true
+			}
+		}
+		if len(c.readQ) >= c.cfg.ReadQueueCap {
+			c.stats.ReadRejects.Inc()
+			return false
+		}
+		r.Arrival = now
+		c.readQ = append(c.readQ, r)
+	case OpWrite:
+		// Coalesce a write to a line already pending in the write queue.
+		for _, w := range c.writeQ {
+			if w.Coord == r.Coord {
+				r.Arrival = now
+				c.stats.Enqueued.Inc()
+				c.complete(r, now)
+				return true
+			}
+		}
+		if len(c.writeQ) >= c.cfg.WriteQueueCap {
+			c.stats.WriteRejects.Inc()
+			return false
+		}
+		r.Arrival = now
+		c.writeQ = append(c.writeQ, r)
+	}
+	c.stats.Enqueued.Inc()
+	return true
+}
+
+// complete fires the completion callback and counts the request.
+func (c *Controller) complete(r *Request, done uint64) {
+	if r.Op == OpRead {
+		c.stats.ReadsDone.Inc()
+	} else {
+		c.stats.WritesDone.Inc()
+	}
+	if r.OnComplete != nil {
+		r.OnComplete(r, done)
+	}
+}
+
+// Tick advances the controller by one memory cycle. It flushes finished
+// transfers, manages refresh, selects at most one DRAM command via FR-FCFS
+// and updates drain/cooperation state.
+func (c *Controller) Tick(now uint64) {
+	c.flush(now)
+	c.stats.QueueOccupied.AddBusy(uint64(len(c.readQ)))
+	c.stats.QueueOccupied.AddTotal(uint64(c.cfg.ReadQueueCap))
+
+	c.updateDrainMode(now)
+
+	if !c.refreshTick(now) {
+		c.scheduleTick(now)
+	}
+	c.ch.EndCycle()
+}
+
+// flush delivers completions whose data transfer has finished.
+func (c *Controller) flush(now uint64) {
+	keep := c.inflight[:0]
+	for _, p := range c.inflight {
+		if p.done <= now {
+			c.complete(p.req, p.done)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	c.inflight = keep
+}
+
+func (c *Controller) updateDrainMode(now uint64) {
+	// Age guard: a write stuck beyond the starvation age forces a drain
+	// even below the watermark, so writes on a busy channel cannot age
+	// without bound.
+	aged := len(c.writeQ) > 0 && now-c.writeQ[0].Arrival > c.cfg.StarvationAge
+	switch {
+	case len(c.writeQ) >= c.cfg.WriteDrainHi || aged:
+		c.draining = true
+	case len(c.writeQ) <= c.cfg.WriteDrainLo:
+		c.draining = false
+	}
+}
+
+// refreshTick handles rank refresh pressure. It returns true when it used
+// this cycle's command slot.
+func (c *Controller) refreshTick(now uint64) bool {
+	if !c.cfg.RefreshEnabled {
+		return false
+	}
+	for rank := 0; rank < c.ch.NumRanks(); rank++ {
+		if !c.ch.RefreshPressure(rank, now) {
+			continue
+		}
+		if c.ch.CanIssue(dram.CmdRefresh, rank, 0, 0, now) {
+			c.ch.Issue(dram.CmdRefresh, rank, 0, 0, now)
+			return true
+		}
+		// Close open banks so the refresh can start.
+		for bank := 0; bank < c.ch.Rank(rank).NumBanks(); bank++ {
+			if c.ch.OpenRow(rank, bank) != dram.RowNone &&
+				c.ch.CanIssue(dram.CmdPrecharge, rank, bank, 0, now) {
+				c.ch.Issue(dram.CmdPrecharge, rank, bank, 0, now)
+				return true
+			}
+		}
+		// Refresh pending but nothing issuable this cycle; hold the slot so
+		// new activates do not push the refresh out indefinitely.
+		return true
+	}
+	return false
+}
+
+// secureWritePhase reports whether the ORAM engine's pending work on this
+// channel is its write phase: secure writes queued with no secure reads.
+// Under cooperative preallocation those writes own ORAM's issue share and
+// must not starve behind normal reads, or the ORAM access never completes
+// and its interference vanishes.
+func (c *Controller) secureWritePhase() bool {
+	for _, r := range c.readQ {
+		if r.Secure {
+			return false
+		}
+	}
+	for _, r := range c.writeQ {
+		if r.Secure {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleTick picks and issues at most one command under the configured
+// policy.
+func (c *Controller) scheduleTick(now uint64) {
+	blockSecure, blockNormal := c.coopUpdate()
+	if c.cfg.Policy == ClosePage && c.closeTick(now) {
+		return
+	}
+	// An ORAM write phase is critical path for the ORAM engine (the next
+	// access waits on it), not a lazy writeback: serve it ahead of reads
+	// unless cooperative preallocation says it is the normal traffic's
+	// turn. Without preallocation (the Path ORAM baseline) this is what
+	// lets ORAM hog the channel through both phases.
+	if !blockSecure && c.secureWritePhase() &&
+		c.tryIssueQueue(c.writeQ, dram.CmdWrite, now, blockSecure, blockNormal) {
+		return
+	}
+	primary, secondary := c.readQ, c.writeQ
+	primaryOp, secondaryOp := dram.CmdRead, dram.CmdWrite
+	if c.draining || len(c.readQ) == 0 {
+		primary, secondary = c.writeQ, c.readQ
+		primaryOp, secondaryOp = dram.CmdWrite, dram.CmdRead
+		// Drain mode is back-pressure relief: normal writes must go even
+		// during an ORAM batch, or the queue wedges and rejects stall the
+		// cores.
+		if c.draining {
+			blockNormal = false
+		}
+	}
+	if c.tryIssueQueue(primary, primaryOp, now, blockSecure, blockNormal) {
+		return
+	}
+	// The primary direction made no progress at all this cycle (empty, or
+	// every candidate blocked by timing): spend the slot on the other
+	// direction. This opportunistic drain keeps the write queue shallow
+	// and avoids long read blackouts when the high watermark trips.
+	// Normal writes are never class-blocked here — they are background
+	// work filling an otherwise wasted slot.
+	if secondaryOp == dram.CmdWrite {
+		blockNormal = false
+	}
+	c.tryIssueQueue(secondary, secondaryOp, now, blockSecure, blockNormal)
+}
+
+// coopBatches returns the batch lengths realizing CoopThreshold: secure
+// issues secBatch columns, then normal traffic issues nsBatch, so ORAM's
+// contended share is secBatch/(secBatch+nsBatch) = CoopThreshold.
+func (c *Controller) coopBatches() (secBatch, nsBatch int) {
+	secBatch = c.cfg.CoopStreak
+	thr := c.cfg.CoopThreshold
+	nsBatch = int(float64(secBatch)*(1-thr)/thr + 0.5)
+	if nsBatch < 1 {
+		nsBatch = 1
+	}
+	return secBatch, nsBatch
+}
+
+// coopUpdate advances the preallocation turn once per cycle, looking at
+// both queues (the ORAM engine's pending work may be all-writes during its
+// write phase). It returns which class is blocked this cycle. When only
+// one class is pending it runs freely and keeps a fresh batch, so a newly
+// arriving request of the other class waits out the full current batch —
+// the residual interference §III-D measures.
+func (c *Controller) coopUpdate() (blockSecure, blockNormal bool) {
+	if !c.cfg.CoopEnabled {
+		return false, false
+	}
+	var haveSec, haveNS bool
+	scan := func(q []*Request) {
+		for _, r := range q {
+			if r.Secure {
+				haveSec = true
+			} else {
+				haveNS = true
+			}
+			if haveSec && haveNS {
+				return
+			}
+		}
+	}
+	scan(c.readQ)
+	if !haveSec || !haveNS {
+		scan(c.writeQ)
+	}
+	if !haveSec || !haveNS {
+		c.coopSecTurn = haveSec
+		c.coopCount = 0
+		return false, false
+	}
+	secBatch, nsBatch := c.coopBatches()
+	if c.coopSecTurn && c.coopCount >= secBatch {
+		c.coopSecTurn, c.coopCount = false, 0
+	} else if !c.coopSecTurn && c.coopCount >= nsBatch {
+		c.coopSecTurn, c.coopCount = true, 0
+	}
+	return !c.coopSecTurn, c.coopSecTurn
+}
+
+// chargeIssue advances the preallocation batch after a column issue for r.
+func (c *Controller) chargeIssue(r *Request) {
+	if !c.cfg.CoopEnabled {
+		return
+	}
+	if r.Secure == c.coopSecTurn {
+		c.coopCount++
+	}
+}
+
+// tryIssueQueue attempts FR-FCFS on one queue. It returns true if any
+// command (column access, activate or precharge) was issued.
+func (c *Controller) tryIssueQueue(q []*Request, col dram.Command, now uint64, blockSecure, blockNormal bool) bool {
+	if len(q) == 0 {
+		return false
+	}
+	blocked := func(r *Request) bool {
+		if r.Secure {
+			return blockSecure
+		}
+		return blockNormal
+	}
+
+	// Starvation guard: if the oldest request is too old, service it
+	// strictly first. FCFS behaves as if every request were starved:
+	// strict arrival order, no row-hit reordering (and no cooperative
+	// reordering either — FCFS is the undecorated comparison point).
+	oldest := q[0]
+	forceOldest := c.cfg.Policy == FCFS || now-oldest.Arrival > c.cfg.StarvationAge
+
+	// Pass 1: first ready row hit in age order.
+	if !forceOldest {
+		for _, r := range q {
+			if blocked(r) {
+				continue
+			}
+			if c.ch.CanIssue(col, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now) {
+				c.issueColumn(r, col, now)
+				return true
+			}
+		}
+	}
+
+	// Pass 2: progress the oldest eligible request's bank.
+	for _, r := range q {
+		if blocked(r) && !forceOldest {
+			continue
+		}
+		rank, bank, row := r.Coord.Rank, r.Coord.Bank, r.Coord.Row
+		open := c.ch.OpenRow(rank, bank)
+		switch {
+		case open == dram.RowNone:
+			if c.ch.CanIssue(dram.CmdActivate, rank, bank, row, now) {
+				c.ch.Issue(dram.CmdActivate, rank, bank, row, now)
+				return true
+			}
+		case open != row:
+			if c.ch.CanIssue(dram.CmdPrecharge, rank, bank, 0, now) {
+				c.ch.Issue(dram.CmdPrecharge, rank, bank, 0, now)
+				c.stats.RowMisses.Inc()
+				return true
+			}
+		default:
+			if forceOldest && c.ch.CanIssue(col, rank, bank, row, now) {
+				c.issueColumn(r, col, now)
+				return true
+			}
+			// Row open and correct but column blocked by timing; wait.
+		}
+		if forceOldest {
+			// Strictly serve the oldest; do not let younger requests
+			// steal the slot while it is force-prioritized.
+			return false
+		}
+	}
+	return false
+}
+
+// issueColumn issues the RD/WR for r, removes it from its queue and tracks
+// its completion.
+func (c *Controller) issueColumn(r *Request, col dram.Command, now uint64) {
+	done := c.ch.Issue(col, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+	c.stats.RowHits.Inc()
+	c.chargeIssue(r)
+	c.removeFromQueue(r)
+	c.inflight = append(c.inflight, pendingDone{req: r, done: done})
+	if c.cfg.Policy == ClosePage {
+		c.pendingClose = append(c.pendingClose, r.Coord)
+	}
+}
+
+// closeTick issues the close-page policy's explicit precharges as soon as
+// the device timing permits. It returns true when it used the cycle's
+// command slot.
+func (c *Controller) closeTick(now uint64) bool {
+	keep := c.pendingClose[:0]
+	issued := false
+	for i, coord := range c.pendingClose {
+		// Skip banks another pending close already targets or that a new
+		// activation has reopened for a different row.
+		open := c.ch.OpenRow(coord.Rank, coord.Bank)
+		if open == dram.RowNone || open != coord.Row {
+			continue
+		}
+		if !issued && c.ch.CanIssue(dram.CmdPrecharge, coord.Rank, coord.Bank, 0, now) {
+			c.ch.Issue(dram.CmdPrecharge, coord.Rank, coord.Bank, 0, now)
+			issued = true
+			continue
+		}
+		keep = append(keep, c.pendingClose[i])
+	}
+	c.pendingClose = append(c.pendingClose[:0], keep...)
+	return issued
+}
+
+func (c *Controller) removeFromQueue(r *Request) {
+	q := &c.readQ
+	if r.Op == OpWrite {
+		q = &c.writeQ
+	}
+	for i, x := range *q {
+		if x == r {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package oram
+
+import (
+	"fmt"
+
+	"doram/internal/xrand"
+)
+
+// Op selects the access type.
+type Op int
+
+// Access operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// Trace records which tree nodes one access touched in untrusted memory.
+// The timing simulator converts these into DRAM transactions; nodes inside
+// the top cache never appear.
+type Trace struct {
+	Leaf       uint64
+	ReadNodes  []NodeID // root-to-leaf order
+	WriteNodes []NodeID // leaf-to-root order (write-back direction)
+}
+
+// Client is a functional Path ORAM controller: it stores real data in
+// encrypted buckets, maintains the stash and position map, and returns the
+// memory-access trace of every operation.
+type Client struct {
+	p      Params
+	pos    PositionMap
+	stash  *Stash
+	store  Storage
+	crypto *Crypto
+
+	versions []uint64   // per-node write counters (encryption nonces)
+	top      [][]*Block // plaintext buckets for the cached top levels
+
+	merkle *Merkle // optional hash-tree integrity (nil = disabled)
+
+	// Background eviction (PHANTOM-style [28]): when the stash exceeds
+	// bgThreshold after an access, issue dummy accesses until it drains
+	// below the threshold (bounded per access by bgMaxPerAccess).
+	bgThreshold    int
+	bgMaxPerAccess int
+	bgEvictions    uint64
+
+	rng *xrand.Rand
+
+	accesses uint64
+}
+
+// NewClient builds a functional Path ORAM over store with a dense, trusted
+// position map. The key encrypts buckets (16 bytes); withMAC adds
+// integrity tags. The seed drives all remapping randomness, making runs
+// reproducible.
+func NewClient(p Params, store Storage, key []byte, withMAC bool, seed uint64) (*Client, error) {
+	return NewClientWithMap(p, store, key, withMAC, seed, nil)
+}
+
+// NewClientWithMap builds a client over an externally supplied position
+// map — the hook the recursive construction uses to store one ORAM's map
+// inside another. A nil pos falls back to a dense trusted map.
+func NewClientWithMap(p Params, store Storage, key []byte, withMAC bool, seed uint64, pos PositionMap) (*Client, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	crypto, err := NewCrypto(key, withMAC)
+	if err != nil {
+		return nil, err
+	}
+	if pos == nil {
+		pos = NewFlatMap(p.MaxBlocks())
+	}
+	topNodes := uint64(1)<<uint(p.TopCacheLevels) - 1
+	c := &Client{
+		p:        p,
+		pos:      pos,
+		stash:    NewStash(p.StashCapacity),
+		store:    store,
+		crypto:   crypto,
+		versions: make([]uint64, p.NumNodes()),
+		top:      make([][]*Block, topNodes),
+		rng:      xrand.New(seed),
+	}
+	return c, nil
+}
+
+// Params returns the instance parameters.
+func (c *Client) Params() Params { return c.p }
+
+// StashLen returns the current stash occupancy.
+func (c *Client) StashLen() int { return c.stash.Len() }
+
+// StashMax returns the stash high-water mark.
+func (c *Client) StashMax() int { return c.stash.MaxSeen() }
+
+// Accesses returns the number of accesses performed (including dummies).
+func (c *Client) Accesses() uint64 { return c.accesses }
+
+// PositionOf exposes the current leaf of addr for invariant tests.
+func (c *Client) PositionOf(addr uint64) uint64 { return c.pos.Get(addr) }
+
+// Access reads or writes the logical block addr. For OpWrite, data is the
+// new content (copied; may be shorter than BlockSize). For OpRead the
+// block's content is returned. Accessing an address for the first time
+// implicitly allocates it (zero-filled).
+func (c *Client) Access(op Op, addr uint64, data []byte) ([]byte, Trace, error) {
+	if addr >= c.p.MaxBlocks() {
+		return nil, Trace{}, fmt.Errorf("oram: address %d beyond capacity %d", addr, c.p.MaxBlocks())
+	}
+	if len(data) > c.p.BlockSize {
+		return nil, Trace{}, fmt.Errorf("oram: data %d bytes exceeds block size %d", len(data), c.p.BlockSize)
+	}
+	leaf := c.pos.Get(addr)
+	if leaf == InvalidPath {
+		leaf = c.rng.Uint64n(c.p.NumLeaves())
+		c.pos.Set(addr, leaf)
+	}
+
+	tr, err := c.readPath(leaf)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+
+	// Serve the request from the stash (the path read moved the block there
+	// unless this is its first touch).
+	b := c.stash.Get(addr)
+	if b == nil {
+		b = &Block{Addr: addr, Data: make([]byte, c.p.BlockSize)}
+		if err := c.stash.Put(b); err != nil {
+			return nil, Trace{}, err
+		}
+	}
+	if op == OpWrite {
+		copy(b.Data, data)
+		for i := len(data); i < len(b.Data); i++ {
+			b.Data[i] = 0
+		}
+	}
+	out := append([]byte(nil), b.Data...)
+
+	// Remap to a fresh uniformly random path.
+	newLeaf := c.rng.Uint64n(c.p.NumLeaves())
+	c.pos.Set(addr, newLeaf)
+	b.Leaf = newLeaf
+
+	if err := c.writePath(leaf, &tr); err != nil {
+		return nil, Trace{}, err
+	}
+	c.accesses++
+	if err := c.backgroundEvict(); err != nil {
+		return nil, Trace{}, err
+	}
+	return out, tr, nil
+}
+
+// SetBackgroundEviction enables PHANTOM-style stash management: whenever
+// an access leaves more than threshold blocks in the stash, up to
+// maxPerAccess dummy accesses run immediately to drain it. A threshold of
+// 0 disables the mechanism.
+func (c *Client) SetBackgroundEviction(threshold, maxPerAccess int) {
+	c.bgThreshold = threshold
+	c.bgMaxPerAccess = maxPerAccess
+}
+
+// BackgroundEvictions returns the dummy accesses issued for stash relief.
+func (c *Client) BackgroundEvictions() uint64 { return c.bgEvictions }
+
+// backgroundEvict drains the stash below the configured threshold.
+func (c *Client) backgroundEvict() error {
+	if c.bgThreshold <= 0 {
+		return nil
+	}
+	for i := 0; i < c.bgMaxPerAccess && c.stash.Len() > c.bgThreshold; i++ {
+		leaf := c.rng.Uint64n(c.p.NumLeaves())
+		tr, err := c.readPath(leaf)
+		if err != nil {
+			return err
+		}
+		if err := c.writePath(leaf, &tr); err != nil {
+			return err
+		}
+		c.bgEvictions++
+	}
+	return nil
+}
+
+// DummyAccess performs a full path read+write on a uniformly random leaf
+// without serving any block. D-ORAM issues these to keep the request rate
+// fixed (timing-channel protection, §III-B).
+func (c *Client) DummyAccess() (Trace, error) {
+	leaf := c.rng.Uint64n(c.p.NumLeaves())
+	tr, err := c.readPath(leaf)
+	if err != nil {
+		return Trace{}, err
+	}
+	if err := c.writePath(leaf, &tr); err != nil {
+		return Trace{}, err
+	}
+	c.accesses++
+	return tr, nil
+}
+
+// EnableMerkle attaches hash-tree integrity: every path read is verified
+// against a trusted root before use, and every write-back refreshes the
+// path's hashes. It must be called before any access, while the tree is
+// empty.
+func (c *Client) EnableMerkle() error {
+	if c.accesses != 0 {
+		return fmt.Errorf("oram: EnableMerkle must precede the first access")
+	}
+	c.merkle = NewMerkle(c.p)
+	return nil
+}
+
+// readPath moves every block on the path to leaf into the stash and
+// records the memory reads.
+func (c *Client) readPath(leaf uint64) (Trace, error) {
+	tr := Trace{Leaf: leaf}
+	var cts [][]byte
+	if c.merkle != nil {
+		cts = make([][]byte, 0, c.p.Levels+1)
+	}
+	for level := 0; level <= c.p.Levels; level++ {
+		node := NodeAt(level, leaf, c.p.Levels)
+		var blocks []*Block
+		if level < c.p.TopCacheLevels {
+			blocks = c.top[node]
+			c.top[node] = nil
+			if c.merkle != nil {
+				cts = append(cts, nil) // cached levels carry no ciphertext
+			}
+		} else {
+			tr.ReadNodes = append(tr.ReadNodes, node)
+			sealed := c.store.ReadBucket(node)
+			if c.merkle != nil {
+				cts = append(cts, sealed)
+			}
+			if sealed == nil {
+				continue // never written: empty bucket
+			}
+			plain, err := c.crypto.Open(node, c.versions[node], sealed)
+			if err != nil {
+				return Trace{}, err
+			}
+			blocks = decodeBucket(plain, c.p.Z, c.p.BlockSize)
+		}
+		for _, b := range blocks {
+			if err := c.stash.Put(b); err != nil {
+				return Trace{}, err
+			}
+		}
+	}
+	if c.merkle != nil {
+		if err := c.merkle.VerifyPath(leaf, cts); err != nil {
+			return Trace{}, err
+		}
+	}
+	return tr, nil
+}
+
+// writePath evicts stash blocks back onto the path (leaf-first, the greedy
+// deepest placement), re-encrypting every bucket, and records the writes.
+func (c *Client) writePath(leaf uint64, tr *Trace) error {
+	var cts [][]byte
+	if c.merkle != nil {
+		cts = make([][]byte, c.p.Levels+1)
+	}
+	for level := c.p.Levels; level >= 0; level-- {
+		node := NodeAt(level, leaf, c.p.Levels)
+		blocks := c.stash.EvictForPath(leaf, level, c.p.Levels, c.p.Z)
+		if level < c.p.TopCacheLevels {
+			c.top[node] = blocks
+			continue
+		}
+		tr.WriteNodes = append(tr.WriteNodes, node)
+		c.versions[node]++
+		sealed := c.crypto.Seal(node, c.versions[node], encodeBucket(blocks, c.p.Z, c.p.BlockSize))
+		c.store.WriteBucket(node, sealed)
+		if c.merkle != nil {
+			cts[level] = sealed
+		}
+	}
+	if c.merkle != nil {
+		return c.merkle.UpdatePath(leaf, cts)
+	}
+	return nil
+}

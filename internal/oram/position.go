@@ -1,0 +1,85 @@
+package oram
+
+import "doram/internal/xrand"
+
+// InvalidPath marks a block with no assigned leaf.
+const InvalidPath = ^uint64(0)
+
+// PositionMap assigns each logical block address to the leaf of the path
+// it currently resides on.
+type PositionMap interface {
+	// Get returns the leaf for addr, or InvalidPath if unmapped.
+	Get(addr uint64) uint64
+	// Set maps addr to leaf.
+	Set(addr uint64, leaf uint64)
+	// Len returns the number of mapped blocks.
+	Len() int
+}
+
+// FlatMap is a dense position map for functional instances whose logical
+// address space is known and small: a slice indexed by block address.
+type FlatMap struct {
+	leaves []uint64
+	used   int
+}
+
+// NewFlatMap allocates a dense map for n logical blocks, all unmapped.
+func NewFlatMap(n uint64) *FlatMap {
+	m := &FlatMap{leaves: make([]uint64, n)}
+	for i := range m.leaves {
+		m.leaves[i] = InvalidPath
+	}
+	return m
+}
+
+// Get implements PositionMap.
+func (m *FlatMap) Get(addr uint64) uint64 {
+	if addr >= uint64(len(m.leaves)) {
+		return InvalidPath
+	}
+	return m.leaves[addr]
+}
+
+// Set implements PositionMap.
+func (m *FlatMap) Set(addr uint64, leaf uint64) {
+	if m.leaves[addr] == InvalidPath && leaf != InvalidPath {
+		m.used++
+	}
+	m.leaves[addr] = leaf
+}
+
+// Len implements PositionMap.
+func (m *FlatMap) Len() int { return m.used }
+
+// LazyMap is a sparse position map for the timing simulator, where the
+// S-App touches an unknown subset of a huge (4 GB) ORAM space: entries are
+// created on first touch with a deterministic pseudo-random leaf.
+type LazyMap struct {
+	leaves map[uint64]uint64
+	rng    *xrand.Rand
+	nLeaf  uint64
+}
+
+// NewLazyMap builds a sparse map over an ORAM with nLeaves leaves. First
+// touches draw their initial leaf from the seeded generator, so traces are
+// reproducible.
+func NewLazyMap(nLeaves uint64, seed uint64) *LazyMap {
+	return &LazyMap{leaves: make(map[uint64]uint64), rng: xrand.New(seed), nLeaf: nLeaves}
+}
+
+// Get implements PositionMap; unmapped addresses receive a random leaf on
+// first use (the protocol's "assign uniformly at random" rule).
+func (m *LazyMap) Get(addr uint64) uint64 {
+	if leaf, ok := m.leaves[addr]; ok {
+		return leaf
+	}
+	leaf := m.rng.Uint64n(m.nLeaf)
+	m.leaves[addr] = leaf
+	return leaf
+}
+
+// Set implements PositionMap.
+func (m *LazyMap) Set(addr uint64, leaf uint64) { m.leaves[addr] = leaf }
+
+// Len implements PositionMap.
+func (m *LazyMap) Len() int { return len(m.leaves) }

@@ -1,0 +1,183 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+
+	"doram/internal/oram"
+	"doram/internal/xrand"
+)
+
+var key = []byte("0123456789abcdef")
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams(8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Levels: 0, Z: 4, S: 5, A: 3, BlockSize: 64, StashCapacity: 100},
+		{Levels: 8, Z: 0, S: 5, A: 3, BlockSize: 64, StashCapacity: 100},
+		{Levels: 8, Z: 4, S: 0, A: 3, BlockSize: 64, StashCapacity: 100},
+		{Levels: 8, Z: 4, S: 5, A: 5, BlockSize: 64, StashCapacity: 100}, // A > Z
+		{Levels: 8, Z: 4, S: 5, A: 3, BlockSize: 4, StashCapacity: 100},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	c, err := New(DefaultParams(7), key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("ring oram payload")
+	if _, err := c.Access(oram.OpWrite, 9, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Access(oram.OpRead, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:len(msg)]) != string(msg) {
+		t.Fatalf("read back %q", got[:len(msg)])
+	}
+}
+
+func TestManyBlocksSurviveEvictionsAndReshuffles(t *testing.T) {
+	c, err := New(DefaultParams(7), key, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(80)
+	for i := uint64(0); i < n; i++ {
+		if _, err := c.Access(oram.OpWrite, i, []byte(fmt.Sprintf("blk-%03d", i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	rng := xrand.New(9)
+	for step := 0; step < 1500; step++ {
+		i := rng.Uint64n(n)
+		got, err := c.Access(oram.OpRead, i, nil)
+		if err != nil {
+			t.Fatalf("step %d read %d: %v", step, i, err)
+		}
+		want := fmt.Sprintf("blk-%03d", i)
+		if string(got[:len(want)]) != want {
+			t.Fatalf("step %d: block %d = %q, want %q", step, i, got[:len(want)], want)
+		}
+	}
+	if c.Stats().Evictions.Value() == 0 {
+		t.Fatal("no path evictions happened")
+	}
+	t.Logf("evictions=%d earlyShuffles=%d stashMax=%d",
+		c.Stats().Evictions.Value(), c.Stats().EarlyShuffle.Value(), c.StashMax())
+}
+
+func TestOnlineBandwidthBelowPathORAM(t *testing.T) {
+	// The headline Ring ORAM claim: online reads per access ~ L+1 blocks
+	// versus Path ORAM's Z(L+1) (plus amortized eviction traffic, still
+	// well under Path ORAM's total).
+	levels := 8
+	rc, err := New(DefaultParams(levels), key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const accesses = 600
+	rng := xrand.New(4)
+	for i := 0; i < accesses; i++ {
+		if _, err := rc.Access(oram.OpWrite, rng.Uint64n(200), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ringRead := float64(rc.Stats().BlocksRead.Value()) / accesses
+
+	pathPerAccess := float64(4 * (levels + 1)) // Z(L+1), no tree-top cache
+	if ringRead >= pathPerAccess/2 {
+		t.Fatalf("ring online reads %.1f/access not clearly below Path ORAM's %.0f",
+			ringRead, pathPerAccess)
+	}
+	t.Logf("ring: %.1f online reads/access vs Path ORAM %.0f; total writes %.1f/access",
+		ringRead, pathPerAccess, float64(rc.Stats().BlocksWrit.Value())/accesses)
+}
+
+func TestStashBounded(t *testing.T) {
+	p := DefaultParams(7)
+	c, err := New(p, key, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.MaxBlocks() / 4
+	rng := xrand.New(6)
+	for step := uint64(0); step < 3000; step++ {
+		if _, err := c.Access(oram.OpWrite, rng.Uint64n(n), []byte{1}); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if c.StashMax() > 200 {
+		t.Fatalf("stash high-water %d suspicious for Z=4/A=3", c.StashMax())
+	}
+}
+
+func TestAddressBeyondCapacityRejected(t *testing.T) {
+	p := DefaultParams(5)
+	c, err := New(p, key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Access(oram.OpRead, p.MaxBlocks(), nil); err == nil {
+		t.Fatal("out-of-range address accepted")
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	if got := reverseBits(0b001, 3); got != 0b100 {
+		t.Fatalf("reverseBits(001,3) = %03b", got)
+	}
+	if got := reverseBits(0b110, 3); got != 0b011 {
+		t.Fatalf("reverseBits(110,3) = %03b", got)
+	}
+	// Reverse-lexicographic order touches distinct leaves before repeating.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 8; i++ {
+		seen[reverseBits(i, 3)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("reverse-lex order visited %d/8 leaves", len(seen))
+	}
+}
+
+// TestRingMatchesReferenceModel drives Ring ORAM with random operation
+// sequences against a plain map reference.
+func TestRingMatchesReferenceModel(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		p := DefaultParams(7)
+		c, err := New(p, key, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64]byte{}
+		rng := xrand.New(seed ^ 0xabc)
+		n := p.MaxBlocks() / 2
+		for i := 0; i < 800; i++ {
+			addr := rng.Uint64n(n)
+			if rng.Bool(0.5) {
+				v := byte(rng.Uint64())
+				if _, err := c.Access(oram.OpWrite, addr, []byte{v}); err != nil {
+					t.Fatalf("seed %d step %d write: %v", seed, i, err)
+				}
+				ref[addr] = v
+			} else {
+				got, err := c.Access(oram.OpRead, addr, nil)
+				if err != nil {
+					t.Fatalf("seed %d step %d read: %v", seed, i, err)
+				}
+				if got[0] != ref[addr] {
+					t.Fatalf("seed %d step %d: addr %d = %d, want %d", seed, i, addr, got[0], ref[addr])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package oram
+
+import "doram/internal/xrand"
+
+// Sampler produces the memory-access traces of a Path ORAM instance
+// without storing any data. It maintains a real (sparse) position map and
+// performs the protocol's remap-on-access, so the generated leaf sequence
+// has exactly the distribution a functional client would produce: each
+// access goes to the leaf the block was last remapped to, which is uniform
+// and independent of the request stream.
+//
+// The timing simulator uses a Sampler at the paper's full scale (L=23,
+// a 4 GB tree) where a functional client would need gigabytes of storage.
+// Stash content does not influence which nodes an access touches (the
+// write phase rewrites the same path it read), so omitting it changes no
+// addresses.
+type Sampler struct {
+	p   Params
+	pos *LazyMap
+	rng *xrand.Rand
+
+	// Fork Path optimization (Zhang et al., MICRO 2015, the paper's ref
+	// [44]): consecutive path accesses share a tree-top prefix; the later
+	// access keeps the shared buckets in the controller and skips their
+	// re-read and re-write. Enabled via SetForkPath.
+	forkPath bool
+	havePrev bool
+	prevLeaf uint64
+	skipped  uint64
+}
+
+// NewSampler builds a trace sampler; it panics on invalid params, a
+// configuration programming error.
+func NewSampler(p Params, seed uint64) *Sampler {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	r := xrand.New(seed)
+	return &Sampler{p: p, pos: NewLazyMap(p.NumLeaves(), r.Uint64()), rng: r}
+}
+
+// Params returns the instance parameters.
+func (s *Sampler) Params() Params { return s.p }
+
+// MappedBlocks returns how many logical blocks have been touched.
+func (s *Sampler) MappedBlocks() int { return s.pos.Len() }
+
+// Access returns the trace of an access to logical block addr and remaps
+// the block.
+func (s *Sampler) Access(addr uint64) Trace {
+	leaf := s.pos.Get(addr)
+	s.pos.Set(addr, s.rng.Uint64n(s.p.NumLeaves()))
+	return s.trace(leaf)
+}
+
+// Dummy returns the trace of a dummy access to a random path.
+func (s *Sampler) Dummy() Trace {
+	return s.trace(s.rng.Uint64n(s.p.NumLeaves()))
+}
+
+// SetForkPath toggles the Fork Path redundant-access elimination.
+func (s *Sampler) SetForkPath(on bool) {
+	s.forkPath = on
+	s.havePrev = false
+}
+
+// SkippedNodes returns the node accesses Fork Path eliminated so far.
+func (s *Sampler) SkippedNodes() uint64 { return s.skipped }
+
+func (s *Sampler) trace(leaf uint64) Trace {
+	tr := Trace{Leaf: leaf}
+	first := s.p.TopCacheLevels
+	if s.forkPath && s.havePrev {
+		// Skip levels shared with the previous path: those buckets are
+		// still buffered in the controller from the last write phase.
+		shared := s.p.TopCacheLevels
+		for shared <= s.p.Levels &&
+			NodeAt(shared, leaf, s.p.Levels) == NodeAt(shared, s.prevLeaf, s.p.Levels) {
+			shared++
+		}
+		s.skipped += 2 * uint64(shared-first)
+		first = shared
+	}
+	s.prevLeaf, s.havePrev = leaf, true
+
+	n := s.p.Levels + 1 - first
+	tr.ReadNodes = make([]NodeID, 0, n)
+	tr.WriteNodes = make([]NodeID, 0, n)
+	for level := first; level <= s.p.Levels; level++ {
+		tr.ReadNodes = append(tr.ReadNodes, NodeAt(level, leaf, s.p.Levels))
+	}
+	for level := s.p.Levels; level >= first; level-- {
+		tr.WriteNodes = append(tr.WriteNodes, NodeAt(level, leaf, s.p.Levels))
+	}
+	return tr
+}

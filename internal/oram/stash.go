@@ -1,0 +1,93 @@
+package oram
+
+import "fmt"
+
+// Block is one logical data block held in the stash or a bucket.
+type Block struct {
+	Addr uint64
+	Leaf uint64 // current path assignment
+	Data []byte
+}
+
+// ErrStashOverflow is returned when an access would exceed the stash
+// capacity — the "critical exception that fails the protocol" the paper's
+// 50% space-efficiency rule exists to avoid (§III-C).
+type ErrStashOverflow struct {
+	Capacity int
+}
+
+func (e ErrStashOverflow) Error() string {
+	return fmt.Sprintf("oram: stash overflow (capacity %d)", e.Capacity)
+}
+
+// Stash holds blocks that have been read off their path and not yet
+// written back.
+type Stash struct {
+	blocks   map[uint64]*Block
+	capacity int
+	maxSeen  int
+}
+
+// NewStash builds a stash bounded at capacity blocks.
+func NewStash(capacity int) *Stash {
+	return &Stash{blocks: make(map[uint64]*Block), capacity: capacity}
+}
+
+// Len returns the current occupancy.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// MaxSeen returns the high-water occupancy observed, for overflow studies.
+func (s *Stash) MaxSeen() int { return s.maxSeen }
+
+// Capacity returns the configured bound.
+func (s *Stash) Capacity() int { return s.capacity }
+
+// Get returns the stashed block for addr, or nil.
+func (s *Stash) Get(addr uint64) *Block { return s.blocks[addr] }
+
+// Put inserts or replaces a block. It returns ErrStashOverflow when the
+// stash is full and addr is not already present.
+func (s *Stash) Put(b *Block) error {
+	if _, ok := s.blocks[b.Addr]; !ok && len(s.blocks) >= s.capacity {
+		return ErrStashOverflow{Capacity: s.capacity}
+	}
+	s.blocks[b.Addr] = b
+	if len(s.blocks) > s.maxSeen {
+		s.maxSeen = len(s.blocks)
+	}
+	return nil
+}
+
+// Remove deletes addr from the stash.
+func (s *Stash) Remove(addr uint64) { delete(s.blocks, addr) }
+
+// EvictForPath selects up to max blocks from the stash that may legally be
+// placed in the bucket at the given level of the path to leaf (i.e. whose
+// assigned leaf shares the path prefix down to that level). Selected blocks
+// are removed from the stash and returned. Deeper-eligible blocks are not
+// preferred over shallower ones here because the caller evicts leaf-first,
+// which already realizes the standard greedy deepest-first strategy.
+func (s *Stash) EvictForPath(leaf uint64, level, levels, max int) []*Block {
+	node := NodeAt(level, leaf, levels)
+	var out []*Block
+	for addr, b := range s.blocks {
+		if len(out) >= max {
+			break
+		}
+		if NodeAt(level, b.Leaf, levels) == node {
+			out = append(out, b)
+			delete(s.blocks, addr)
+		}
+	}
+	return out
+}
+
+// All returns the stashed blocks in unspecified order (for tests and
+// persistence).
+func (s *Stash) All() []*Block {
+	out := make([]*Block, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package stats provides lightweight counters and latency aggregates used
+// throughout the simulator. All values are accumulated in simulation cycles
+// (or plain event counts) and converted to nanoseconds only at reporting
+// time by the caller.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Latency accumulates a stream of latency samples, tracking count, sum,
+// min and max. It deliberately avoids storing samples so that million-event
+// simulations stay cheap; use Histogram when a distribution is needed.
+type Latency struct {
+	count uint64
+	sum   uint64
+	min   uint64
+	max   uint64
+}
+
+// Observe records one latency sample.
+func (l *Latency) Observe(v uint64) {
+	if l.count == 0 || v < l.min {
+		l.min = v
+	}
+	if v > l.max {
+		l.max = v
+	}
+	l.count++
+	l.sum += v
+}
+
+// Count returns the number of samples observed.
+func (l *Latency) Count() uint64 { return l.count }
+
+// Sum returns the sum of all samples.
+func (l *Latency) Sum() uint64 { return l.sum }
+
+// Min returns the smallest sample, or 0 if no samples were observed.
+func (l *Latency) Min() uint64 { return l.min }
+
+// Max returns the largest sample, or 0 if no samples were observed.
+func (l *Latency) Max() uint64 { return l.max }
+
+// Mean returns the average sample, or 0 if no samples were observed.
+func (l *Latency) Mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return float64(l.sum) / float64(l.count)
+}
+
+// Merge folds other into l as if all of other's samples had been observed
+// on l directly.
+func (l *Latency) Merge(other Latency) {
+	if other.count == 0 {
+		return
+	}
+	if l.count == 0 {
+		*l = other
+		return
+	}
+	if other.min < l.min {
+		l.min = other.min
+	}
+	if other.max > l.max {
+		l.max = other.max
+	}
+	l.count += other.count
+	l.sum += other.sum
+}
+
+// Reset clears all samples.
+func (l *Latency) Reset() { *l = Latency{} }
+
+// String formats the aggregate for debugging output.
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%d max=%d", l.count, l.Mean(), l.min, l.max)
+}
+
+// Histogram is a fixed-boundary latency histogram. Boundaries are upper
+// bounds of each bucket; samples above the last boundary land in an
+// implicit overflow bucket.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	lat    Latency
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. It panics if bounds are empty or not strictly ascending, because
+// that is a programming error in the caller.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.lat.Observe(v)
+}
+
+// Bucket returns the count of samples in bucket i, where i == len(bounds)
+// addresses the overflow bucket.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Latency returns the scalar aggregate over all observed samples.
+func (h *Histogram) Latency() Latency { return h.lat }
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
+// using bucket boundaries. The overflow bucket reports the observed max.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.lat.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.lat.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.bounds) {
+				return h.lat.max
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.lat.max
+}
+
+// Utilization tracks how many cycles a resource was busy out of a window.
+type Utilization struct {
+	busy  uint64
+	total uint64
+}
+
+// AddBusy records d busy cycles.
+func (u *Utilization) AddBusy(d uint64) { u.busy += d }
+
+// AddTotal records d elapsed cycles.
+func (u *Utilization) AddTotal(d uint64) { u.total += d }
+
+// Value returns busy/total in [0,1], or 0 when no cycles elapsed.
+func (u *Utilization) Value() float64 {
+	if u.total == 0 {
+		return 0
+	}
+	return float64(u.busy) / float64(u.total)
+}
+
+// Busy returns the accumulated busy cycles.
+func (u *Utilization) Busy() uint64 { return u.busy }
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries.
+// It returns 0 when no positive entries exist.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

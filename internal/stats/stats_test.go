@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLatencyAggregates(t *testing.T) {
+	var l Latency
+	for _, v := range []uint64{5, 1, 9, 3} {
+		l.Observe(v)
+	}
+	if l.Count() != 4 || l.Sum() != 18 || l.Min() != 1 || l.Max() != 9 {
+		t.Fatalf("aggregates: %s", l.String())
+	}
+	if l.Mean() != 4.5 {
+		t.Fatalf("mean = %v", l.Mean())
+	}
+	l.Reset()
+	if l.Count() != 0 || l.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b Latency
+	a.Observe(2)
+	a.Observe(10)
+	b.Observe(1)
+	b.Observe(4)
+	a.Merge(b)
+	if a.Count() != 4 || a.Min() != 1 || a.Max() != 10 || a.Sum() != 17 {
+		t.Fatalf("merged: %s", a.String())
+	}
+	// Merging empty is a no-op; merging into empty copies.
+	var e Latency
+	a.Merge(e)
+	if a.Count() != 4 {
+		t.Fatal("merge with empty changed state")
+	}
+	e.Merge(a)
+	if e.Count() != 4 || e.Min() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	want := []uint64{2, 2, 0, 1}
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if lat := h.Latency(); lat.Count() != 5 {
+		t.Fatal("scalar aggregate missing samples")
+	}
+	if p := h.Percentile(50); p != 10 && p != 100 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(100); p != 5000 {
+		t.Fatalf("p100 = %d, want observed max", p)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for i, bounds := range [][]uint64{{}, {5, 5}, {9, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad bounds accepted", i)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	if u.Value() != 0 {
+		t.Fatal("empty utilization nonzero")
+	}
+	u.AddBusy(30)
+	u.AddTotal(100)
+	if u.Value() != 0.3 || u.Busy() != 30 {
+		t.Fatalf("value = %v busy = %d", u.Value(), u.Busy())
+	}
+}
+
+func TestGeoMeanAndMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Fatalf("geomean of non-positives = %v, want 0", g)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("mean of empty = %v", m)
+	}
+}
+
+func TestPropertyLatencyMeanBounded(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var l Latency
+		for _, v := range vals {
+			l.Observe(uint64(v))
+		}
+		if len(vals) == 0 {
+			return l.Mean() == 0
+		}
+		return float64(l.Min()) <= l.Mean() && l.Mean() <= float64(l.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHistogramConservation(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram([]uint64{100, 1000, 10000})
+		var sum uint64
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		lat := h.Latency()
+		return sum == uint64(len(vals)) && lat.Count() == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format for recorded traces: a compact varint encoding so the 500M
+// instruction traces of the paper's methodology stay manageable on disk.
+//
+//	magic "DTRC" | version u8 | name len u8 | name | record count u64
+//	per record: gap uvarint | flags u8 (bit0 = write) | addr-delta zigzag
+//
+// Addresses are delta-encoded against the previous record's address,
+// which compresses both streaming (small positive deltas) and working-set
+// (bounded deltas) patterns well.
+
+var fileMagic = [4]byte{'D', 'T', 'R', 'C'}
+
+const fileVersion = 1
+
+// ErrBadTraceFile is returned when a file fails header validation.
+var ErrBadTraceFile = errors.New("trace: not a trace file (bad magic or version)")
+
+// WriteFile encodes up to n records from r into w under the given
+// benchmark name. It returns the number of records written (fewer than n
+// only if r ends first).
+func WriteFile(w io.Writer, name string, r Reader, n uint64) (uint64, error) {
+	if len(name) > 255 {
+		return 0, fmt.Errorf("trace: name %q too long", name)
+	}
+	// Buffer the records first: the header carries the exact count.
+	recs := make([]Record, 0, n)
+	for uint64(len(recs)) < n {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return 0, err
+	}
+	bw.WriteByte(fileVersion)
+	bw.WriteByte(byte(len(name)))
+	bw.WriteString(name)
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(recs)))
+	bw.Write(cnt[:])
+
+	var buf [binary.MaxVarintLen64]byte
+	prev := uint64(0)
+	for _, rec := range recs {
+		k := binary.PutUvarint(buf[:], uint64(rec.Gap))
+		bw.Write(buf[:k])
+		flags := byte(0)
+		if rec.Write {
+			flags |= 1
+		}
+		bw.WriteByte(flags)
+		delta := int64(rec.Addr) - int64(prev)
+		k = binary.PutVarint(buf[:], delta)
+		bw.Write(buf[:k])
+		prev = rec.Addr
+	}
+	return uint64(len(recs)), bw.Flush()
+}
+
+// FileReader replays a recorded trace; it implements Reader.
+type FileReader struct {
+	br    *bufio.Reader
+	name  string
+	total uint64
+	read  uint64
+	prev  uint64
+	err   error
+}
+
+// OpenFile validates the header and returns a reader positioned at the
+// first record.
+func OpenFile(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadTraceFile
+	}
+	if magic != fileMagic {
+		return nil, ErrBadTraceFile
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != fileVersion {
+		return nil, ErrBadTraceFile
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return nil, ErrBadTraceFile
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, ErrBadTraceFile
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, ErrBadTraceFile
+	}
+	return &FileReader{
+		br:    br,
+		name:  string(name),
+		total: binary.LittleEndian.Uint64(cnt[:]),
+	}, nil
+}
+
+// Name returns the benchmark name recorded in the header.
+func (f *FileReader) Name() string { return f.name }
+
+// Total returns the record count recorded in the header.
+func (f *FileReader) Total() uint64 { return f.total }
+
+// Err returns the first decoding error encountered, if any.
+func (f *FileReader) Err() error { return f.err }
+
+// Next implements Reader.
+func (f *FileReader) Next() (Record, bool) {
+	if f.err != nil || f.read >= f.total {
+		return Record{}, false
+	}
+	gap, err := binary.ReadUvarint(f.br)
+	if err != nil {
+		f.err = fmt.Errorf("trace: truncated record %d: %w", f.read, err)
+		return Record{}, false
+	}
+	flags, err := f.br.ReadByte()
+	if err != nil {
+		f.err = fmt.Errorf("trace: truncated record %d: %w", f.read, err)
+		return Record{}, false
+	}
+	delta, err := binary.ReadVarint(f.br)
+	if err != nil {
+		f.err = fmt.Errorf("trace: truncated record %d: %w", f.read, err)
+		return Record{}, false
+	}
+	f.prev = uint64(int64(f.prev) + delta)
+	f.read++
+	return Record{Gap: uint32(gap), Write: flags&1 == 1, Addr: f.prev}, true
+}

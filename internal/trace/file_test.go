@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	spec, _ := ByName("face")
+	var buf bytes.Buffer
+	const n = 5000
+	wrote, err := WriteFile(&buf, "face", NewGenerator(spec, 11), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != n {
+		t.Fatalf("wrote %d records, want %d", wrote, n)
+	}
+
+	f, err := OpenFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "face" || f.Total() != n {
+		t.Fatalf("header: name=%q total=%d", f.Name(), f.Total())
+	}
+	ref := NewGenerator(spec, 11)
+	for i := 0; i < n; i++ {
+		want, _ := ref.Next()
+		got, ok := f.Next()
+		if !ok {
+			t.Fatalf("record %d: reader ended early: %v", i, f.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := f.Next(); ok {
+		t.Fatal("reader yielded past the recorded count")
+	}
+	if f.Err() != nil {
+		t.Fatalf("clean read left error: %v", f.Err())
+	}
+}
+
+func TestFileRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("NOPE12345678901234567890"),
+		append([]byte("DTRC"), 99 /* bad version */, 0, 0, 0, 0, 0, 0, 0, 0, 0),
+	}
+	for i, b := range cases {
+		if _, err := OpenFile(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestFileTruncationSurfaces(t *testing.T) {
+	spec, _ := ByName("libq")
+	var buf bytes.Buffer
+	if _, err := WriteFile(&buf, "libq", NewGenerator(spec, 3), 100); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	f, err := OpenFile(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := f.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n >= 100 {
+		t.Fatal("truncated file yielded all records")
+	}
+	if f.Err() == nil {
+		t.Fatal("truncation not reported via Err")
+	}
+}
+
+func TestFileShortTraceFromSlice(t *testing.T) {
+	recs := []Record{
+		{Gap: 0, Write: false, Addr: 64},
+		{Gap: 1000000, Write: true, Addr: 0}, // negative delta
+		{Gap: 3, Write: false, Addr: 1 << 40},
+	}
+	var buf bytes.Buffer
+	wrote, err := WriteFile(&buf, "mini", NewSliceReader(recs), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != 3 {
+		t.Fatalf("wrote %d, want 3 (source exhausted)", wrote)
+	}
+	f, err := OpenFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, ok := f.Next()
+		if !ok || got != want {
+			t.Fatalf("record %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+}
+
+func TestPropertyFileRoundTrip(t *testing.T) {
+	f := func(gaps []uint32, addrs []uint32, writes []bool) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{Gap: gaps[i], Write: writes[i], Addr: uint64(addrs[i]) * 64}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteFile(&buf, "p", NewSliceReader(recs), uint64(n)); err != nil {
+			return false
+		}
+		fr, err := OpenFile(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			got, ok := fr.Next()
+			if !ok || got != recs[i] {
+				return false
+			}
+		}
+		_, ok := fr.Next()
+		return !ok && fr.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzOpenFile ensures arbitrary bytes never panic the trace file reader.
+func FuzzOpenFile(f *testing.F) {
+	spec, _ := ByName("black")
+	var buf bytes.Buffer
+	WriteFile(&buf, "black", NewGenerator(spec, 1), 50)
+	f.Add(buf.Bytes())
+	f.Add([]byte("DTRC"))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := OpenFile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, ok := fr.Next(); !ok {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+// Package xrand provides a tiny deterministic PRNG (SplitMix64) used across
+// the simulator. Simulations must be exactly reproducible from a seed, and
+// several generators run interleaved, so each component owns its own stream
+// rather than sharing math/rand global state.
+package xrand
+
+import "math"
+
+// Rand is a SplitMix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0.
+type Rand struct {
+	s uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed float with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork derives an independent generator from this one, keyed by id, so
+// subsystems can receive decorrelated streams from one master seed.
+func (r *Rand) Fork(id uint64) *Rand {
+	return New(r.Uint64() ^ (id * 0xd1342543de82ef95))
+}
+
+// HashString folds a string into a 64-bit seed (FNV-1a).
+func HashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,147 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+	c := New(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Uint64n(3); v >= 3 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadN(t *testing.T) {
+	for i, f := range []func(){
+		func() { New(1).Intn(0) },
+		func() { New(1).Intn(-1) },
+		func() { New(1).Uint64n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid n accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(100)
+	}
+	if mean := sum / n; mean < 97 || mean > 103 {
+		t.Fatalf("Exp mean = %v, want ~100", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %v", frac)
+	}
+}
+
+func TestForkDecorrelates(t *testing.T) {
+	master := New(11)
+	a := master.Fork(1)
+	b := master.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams matched %d/100 times", same)
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if HashString("abc") == HashString("abd") {
+		t.Fatal("distinct strings hashed equal")
+	}
+	if HashString("abc") != HashString("abc") {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestPropertyUniformBits(t *testing.T) {
+	// Every bit position should be set roughly half the time.
+	f := func(seed uint64) bool {
+		r := New(seed)
+		counts := [64]int{}
+		const n = 2000
+		for i := 0; i < n; i++ {
+			v := r.Uint64()
+			for b := 0; b < 64; b++ {
+				if v&(1<<uint(b)) != 0 {
+					counts[b]++
+				}
+			}
+		}
+		for _, c := range counts {
+			if c < n/2-200 || c > n/2+200 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package doram
+
+import (
+	"fmt"
+
+	"doram/internal/clock"
+	"doram/internal/core"
+	"doram/internal/trace"
+)
+
+// Scheme selects the protection architecture of a simulation run.
+type Scheme string
+
+// Supported schemes.
+const (
+	// SchemeNonSecure runs NS-Apps only (solo and channel-partition
+	// reference points).
+	SchemeNonSecure Scheme = "non-secure"
+	// SchemePathORAM is the paper's baseline: on-chip Path ORAM over the
+	// direct-attached channels.
+	SchemePathORAM Scheme = "path-oram"
+	// SchemeSecureMemory is the ObfusMem/InvisiMem-style comparator.
+	SchemeSecureMemory Scheme = "secure-memory"
+	// SchemeDORAM is the paper's design: BOB channels with the secure
+	// delegator on channel 0.
+	SchemeDORAM Scheme = "d-oram"
+)
+
+func (s Scheme) internal() (core.Scheme, error) {
+	switch s {
+	case SchemeNonSecure:
+		return core.NonSecure, nil
+	case SchemePathORAM:
+		return core.PathORAMBaseline, nil
+	case SchemeSecureMemory:
+		return core.SecureMemory, nil
+	case SchemeDORAM:
+		return core.DORAM, nil
+	default:
+		return 0, fmt.Errorf("doram: unknown scheme %q", string(s))
+	}
+}
+
+// AllNS lets every NS-App allocate on the secure channel (no /c limit).
+const AllNS = core.AllNS
+
+// SimConfig describes one co-run simulation (Table II system; the
+// benchmark names and MPKIs come from Table III).
+type SimConfig struct {
+	Scheme    Scheme
+	Benchmark string
+
+	// NumNS is the number of NS-App copies (paper: 7).
+	NumNS int
+	// HasSApp runs an S-App under the scheme's protection. It defaults to
+	// true for every scheme except SchemeNonSecure.
+	HasSApp bool
+	// NumS runs multiple S-App copies (0 with HasSApp means 1) — the
+	// §III-C capacity-pressure scenario.
+	NumS int
+	// ForkPath enables the redundant-path-access elimination of Zhang et
+	// al. (MICRO 2015), an optional optimization outside the paper's
+	// evaluated configurations.
+	ForkPath bool
+	// OverlapPhases pipelines consecutive ORAM accesses in the SD ([39]'s
+	// read/write phase acceleration; off reproduces the paper).
+	OverlapPhases bool
+	// DDR4 swaps DDR3-1600 for DDR4-2400 devices (bank groups).
+	DDR4 bool
+
+	// NSChannels restricts NS-Apps to a channel subset (e.g. []int{1,2,3}
+	// for the 7NS-3ch partition). Nil means all four channels.
+	NSChannels []int
+	// SecureSharers is D-ORAM's c: how many NS-Apps may use channel 0.
+	// Use AllNS for no limit.
+	SecureSharers int
+	// SplitK is D-ORAM's tree-split depth (0-3); the ORAM tree grows by
+	// 2^k and the bottom k levels move to the normal channels.
+	SplitK int
+
+	// TraceLen is the number of memory accesses each core replays.
+	TraceLen uint64
+	Seed     uint64
+
+	// TraceDir loads recorded traces (cmd/tracegen -o) instead of
+	// synthesizing: "<Benchmark>.<core>.dtrc" per core, else a shared
+	// "<Benchmark>.dtrc" rotated per core.
+	TraceDir string
+}
+
+// DefaultSimConfig returns the paper's 1S7NS co-run for the scheme.
+func DefaultSimConfig(scheme Scheme, benchmark string) SimConfig {
+	return SimConfig{
+		Scheme:        scheme,
+		Benchmark:     benchmark,
+		NumNS:         7,
+		HasSApp:       scheme != SchemeNonSecure,
+		SecureSharers: AllNS,
+		TraceLen:      20000,
+		Seed:          1,
+	}
+}
+
+// SimResult summarizes one run. Times are in CPU cycles at 3.2 GHz unless
+// stated otherwise.
+type SimResult struct {
+	// NSFinish is each NS core's execution time.
+	NSFinish []uint64
+	// AvgNSExecCycles is the mean NS execution time — the metric Figures
+	// 4, 9, 10 and 11 normalize.
+	AvgNSExecCycles float64
+	// NSReadLatencyNs / NSWriteLatencyNs are the mean NS memory access
+	// latencies (Figure 13's metric).
+	NSReadLatencyNs  float64
+	NSWriteLatencyNs float64
+	// NSReadP50Ns / NSReadP95Ns / NSReadP99Ns are read latency percentiles
+	// (upper bounds from the latency histogram).
+	NSReadP50Ns float64
+	NSReadP95Ns float64
+	NSReadP99Ns float64
+	// ORAMAccesses counts completed ORAM accesses (real + dummy).
+	ORAMAccesses uint64
+	// ORAMAccessNs is the mean ORAM access time (read + write phase).
+	ORAMAccessNs float64
+	// TotalEnergyUJ is the DRAM energy consumed over the run (microjoules).
+	TotalEnergyUJ float64
+}
+
+// Simulate builds and runs one co-run simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	scheme, err := cfg.Scheme.internal()
+	if err != nil {
+		return nil, err
+	}
+	ic := core.DefaultConfig(scheme, cfg.Benchmark)
+	ic.NumNS = cfg.NumNS
+	ic.HasSApp = cfg.HasSApp
+	ic.NumS = cfg.NumS
+	ic.ForkPath = cfg.ForkPath
+	ic.OverlapPhases = cfg.OverlapPhases
+	ic.DDR4 = cfg.DDR4
+	ic.NSChannels = cfg.NSChannels
+	ic.SecureSharers = cfg.SecureSharers
+	ic.SplitK = cfg.SplitK
+	if cfg.TraceLen > 0 {
+		ic.TraceLen = cfg.TraceLen
+	}
+	if cfg.Seed != 0 {
+		ic.Seed = cfg.Seed
+	}
+	ic.TraceDir = cfg.TraceDir
+	sys, err := core.NewSystem(ic)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &SimResult{
+		NSFinish:         res.NSFinish,
+		AvgNSExecCycles:  res.AvgNSFinish(),
+		NSReadLatencyNs:  clock.CPUToNanos(uint64(res.AvgReadLatency())),
+		NSWriteLatencyNs: clock.CPUToNanos(uint64(res.AvgWriteLatency())),
+		TotalEnergyUJ:    res.TotalEnergyUJ(),
+	}
+	if res.NSReadHist != nil {
+		out.NSReadP50Ns = clock.CPUToNanos(res.NSReadHist.Percentile(50))
+		out.NSReadP95Ns = clock.CPUToNanos(res.NSReadHist.Percentile(95))
+		out.NSReadP99Ns = clock.CPUToNanos(res.NSReadHist.Percentile(99))
+	}
+	if res.SApp != nil {
+		out.ORAMAccesses = res.SApp.Accesses.Value()
+		out.ORAMAccessNs = clock.CPUToNanos(uint64(res.SApp.ReadPhase.Mean() + res.SApp.WritePhase.Mean()))
+	}
+	return out, nil
+}
+
+// Benchmarks returns the 15 Table III benchmark names.
+func Benchmarks() []string { return trace.Names() }
