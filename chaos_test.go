@@ -1,0 +1,117 @@
+package doram
+
+import (
+	"testing"
+)
+
+// chaosConfig returns a small MAC-protected instance with a transient-only
+// fault campaign scheduled against its storage.
+func chaosConfig(seed uint64) ORAMConfig {
+	cfg := DefaultORAMConfig()
+	cfg.Levels = 8
+	cfg.Seed = seed
+	cfg.Faults = &FaultPlan{
+		Seed:               seed,
+		BitFlips:           6,
+		Replays:            4,
+		GarbageBuckets:     2,
+		PersistentFraction: 0, // transient only: every fault must heal
+		Horizon:            4000,
+	}
+	return cfg
+}
+
+func runChaosCampaign(t *testing.T, cfg ORAMConfig) (*ORAM, FaultReport) {
+	t.Helper()
+	o, err := NewORAM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		addr := uint64(i % 64)
+		if i%2 == 0 {
+			err = o.Write(addr, []byte{byte(i)})
+		} else {
+			_, err = o.Read(addr)
+		}
+		if err != nil {
+			t.Fatalf("access %d: transient-only campaign failed: %v", i, err)
+		}
+	}
+	return o, o.FaultReport()
+}
+
+func TestORAMFaultPlanTransientCampaignHeals(t *testing.T) {
+	o, r := runChaosCampaign(t, chaosConfig(5))
+	if r.Injected() == 0 {
+		t.Fatal("campaign injected nothing — vacuous")
+	}
+	if r.Retries == 0 {
+		t.Fatal("faults injected but no recovery retries recorded")
+	}
+	if r.RecoveryCycles == 0 {
+		t.Fatal("recovery charged zero simulated cycles")
+	}
+	if r.Alarms != 0 || r.Persistent != 0 {
+		t.Fatalf("transient-only campaign reported alarms/persistence: %+v", r)
+	}
+
+	// Data must have survived every healed fault. The campaign writes
+	// addr = i%64 with payload byte(i) on even i, so even addrs hold their
+	// last write and odd addrs were never written.
+	for addr := uint64(0); addr < 64; addr++ {
+		got, err := o.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want byte
+		if addr%2 == 0 {
+			last := addr + 256
+			if last >= 300 {
+				last = addr + 192
+			}
+			want = byte(last)
+		}
+		if got[0] != want {
+			t.Fatalf("addr %d = %d after healed campaign, want %d", addr, got[0], want)
+		}
+	}
+}
+
+func TestORAMFaultCampaignReproducible(t *testing.T) {
+	_, a := runChaosCampaign(t, chaosConfig(9))
+	_, b := runChaosCampaign(t, chaosConfig(9))
+	if a != b {
+		t.Fatalf("same seed produced different reports:\n%+v\n%+v", a, b)
+	}
+	_, c := runChaosCampaign(t, chaosConfig(10))
+	if a == c {
+		t.Fatal("different seeds produced identical reports (suspicious)")
+	}
+}
+
+func TestORAMFaultPlanRejectsInvalid(t *testing.T) {
+	cfg := DefaultORAMConfig()
+	cfg.Faults = &FaultPlan{BitFlips: -1}
+	if _, err := NewORAM(cfg); err == nil {
+		t.Fatal("negative fault count accepted")
+	}
+	cfg.Faults = &FaultPlan{PersistentFraction: 2}
+	if _, err := NewORAM(cfg); err == nil {
+		t.Fatal("persistent fraction > 1 accepted")
+	}
+}
+
+func TestSimulateRejectsLinkFaultsOutsideDORAM(t *testing.T) {
+	cfg := DefaultSimConfig(SchemePathORAM, "face")
+	cfg.TraceLen = 100
+	cfg.LinkCorruptProb = 0.1
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("link faults accepted on a direct-attached scheme")
+	}
+	cfg.LinkCorruptProb = -0.5
+	cfg.Scheme = SchemeDORAM
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}

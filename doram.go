@@ -21,6 +21,7 @@ package doram
 import (
 	"fmt"
 
+	"doram/internal/faults"
 	"doram/internal/oram"
 )
 
@@ -54,6 +55,63 @@ type ORAMConfig struct {
 	RecursivePositionMap bool
 	// Seed drives remapping; runs with equal seeds are identical.
 	Seed uint64
+	// Faults, when non-nil, schedules a deterministic fault-injection
+	// campaign against the instance's untrusted storage (chaos testing).
+	// Enable WithMAC or MerkleIntegrity so the faults are detectable; the
+	// client then heals transient faults by re-reading and raises a
+	// security alarm on persistent tampering.
+	Faults *FaultPlan
+}
+
+// FaultPlan configures a seeded storage fault campaign. The same plan
+// against the same ORAM seed reproduces the identical campaign.
+type FaultPlan struct {
+	// Seed drives the schedule and the fault payloads.
+	Seed uint64
+	// Event counts by kind: single-bit corruptions, stale-image replays,
+	// silently dropped write-backs, and whole-bucket garbage.
+	BitFlips       int
+	Replays        int
+	DroppedWrites  int
+	GarbageBuckets int
+	// PersistentFraction is the probability that a scheduled read-side
+	// fault tampers with the stored image (so re-reads cannot heal it);
+	// dropped writes are always persistent.
+	PersistentFraction float64
+	// Horizon is the bucket-operation window the events are scheduled
+	// over. 0 uses a default of 4096 operations (one operation ≈ one
+	// bucket read or write; a Levels=16, TopCacheLevels=3 access performs
+	// 14 of each).
+	Horizon uint64
+}
+
+// FaultReport summarizes a fault campaign: what the adversary injected and
+// what the client's integrity machinery did about it.
+type FaultReport struct {
+	// Injected counts delivered faults by kind; Persistent of those
+	// tampered with the stored image. Deferred events found no applicable
+	// target (e.g. a replay of a never-rewritten bucket) and were dropped.
+	BitFlips       uint64
+	Replays        uint64
+	DroppedWrites  uint64
+	GarbageBuckets uint64
+	Persistent     uint64
+	Deferred       uint64
+
+	// Recovery activity: bucket re-reads after MAC failures, whole-path
+	// re-fetches after Merkle failures, escalations to a security alarm,
+	// dummy accesses issued to relieve stash pressure, and the simulated
+	// cycle cost of all integrity retries.
+	Retries           uint64
+	PathRetries       uint64
+	Alarms            uint64
+	PressureEvictions uint64
+	RecoveryCycles    uint64
+}
+
+// Injected returns the total faults delivered.
+func (r FaultReport) Injected() uint64 {
+	return r.BitFlips + r.Replays + r.DroppedWrites + r.GarbageBuckets
 }
 
 // DefaultORAMConfig returns a 64 MB-scale functional instance with the
@@ -77,6 +135,7 @@ func DefaultORAMConfig() ORAMConfig {
 type ORAM struct {
 	client *oram.Client
 	recmap *oram.RecursiveMap
+	faulty *faults.FaultyStorage // non-nil when a FaultPlan is active
 }
 
 // NewORAM builds a functional Path ORAM with in-memory untrusted storage.
@@ -103,8 +162,28 @@ func NewORAM(cfg ORAMConfig) (*ORAM, error) {
 		o.recmap = rm
 		pos = rm
 	}
-	client, err := oram.NewClientWithMap(p, oram.NewMemStorage(p.NumNodes()),
-		cfg.Key, cfg.WithMAC, cfg.Seed, pos)
+	var store oram.Storage = oram.NewMemStorage(p.NumNodes())
+	if cfg.Faults != nil {
+		horizon := cfg.Faults.Horizon
+		if horizon == 0 {
+			horizon = 4096
+		}
+		plan, err := faults.NewPlan(faults.PlanConfig{
+			Seed:               cfg.Faults.Seed,
+			BitFlips:           cfg.Faults.BitFlips,
+			Replays:            cfg.Faults.Replays,
+			DroppedWrites:      cfg.Faults.DroppedWrites,
+			Garbage:            cfg.Faults.GarbageBuckets,
+			PersistentFraction: cfg.Faults.PersistentFraction,
+			Horizon:            horizon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		o.faulty = faults.WrapStorage(store, plan)
+		store = o.faulty
+	}
+	client, err := oram.NewClientWithMap(p, store, cfg.Key, cfg.WithMAC, cfg.Seed, pos)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +244,38 @@ func (o *ORAM) StashHighWater() int { return o.client.StashMax() }
 // BlocksPerAccess returns the memory blocks transferred per phase of one
 // access (the bandwidth amplification the paper's motivation quantifies).
 func (o *ORAM) BlocksPerAccess() int { return o.client.Params().BlocksPerAccess() }
+
+// FaultReport returns the campaign and recovery counters. Without a
+// FaultPlan the injection side is all zero but the recovery side still
+// reports organic activity (e.g. stash-pressure evictions).
+func (o *ORAM) FaultReport() FaultReport {
+	rec := o.client.RecoveryStats()
+	r := FaultReport{
+		Retries:           rec.Retries,
+		PathRetries:       rec.PathRetries,
+		Alarms:            rec.Alarms,
+		PressureEvictions: rec.PressureEvictions,
+		RecoveryCycles:    rec.RecoveryCycles,
+	}
+	if o.faulty != nil {
+		st := o.faulty.Stats()
+		r.BitFlips = st.Injected[faults.BitFlip]
+		r.Replays = st.Injected[faults.Replay]
+		r.DroppedWrites = st.Injected[faults.DroppedWrite]
+		r.GarbageBuckets = st.Injected[faults.Garbage]
+		r.Persistent = st.Persistent
+		r.Deferred = st.Deferred
+	}
+	return r
+}
+
+// SetRecovery tunes integrity-failure recovery: maxRetries bounds the
+// re-reads before a persistent failure escalates to a security alarm
+// (0 = fail fast on the first failure), retryCostCycles is the simulated
+// cost charged per re-read.
+func (o *ORAM) SetRecovery(maxRetries int, retryCostCycles uint64) {
+	o.client.SetRecovery(oram.RecoveryConfig{MaxRetries: maxRetries, RetryCostCycles: retryCostCycles})
+}
 
 func init() {
 	// Guard the public default against drift in internal validation.

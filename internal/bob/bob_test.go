@@ -60,7 +60,7 @@ func TestPropertyPacketRoundTrip(t *testing.T) {
 }
 
 func TestLinkLatencyAndOccupancy(t *testing.T) {
-	l := NewLink(DefaultLinkConfig())
+	l := MustLink(DefaultLinkConfig())
 	// 72 B at 4 B/cycle = 18 cycles occupancy + 48 cycles latency.
 	arrive := l.SendDown(72, 100)
 	if want := uint64(100 + 18 + 48); arrive != want {
@@ -79,9 +79,9 @@ func TestLinkLatencyAndOccupancy(t *testing.T) {
 }
 
 func TestLinkShortPacketsCheaper(t *testing.T) {
-	l := NewLink(DefaultLinkConfig())
+	l := MustLink(DefaultLinkConfig())
 	full := l.SendDown(FullPacketBytes, 0)
-	l2 := NewLink(DefaultLinkConfig())
+	l2 := MustLink(DefaultLinkConfig())
 	short := l2.SendDown(ShortReadBytes, 0)
 	if short >= full {
 		t.Fatalf("short packet (%d) not faster than full (%d)", short, full)
@@ -89,7 +89,7 @@ func TestLinkShortPacketsCheaper(t *testing.T) {
 }
 
 func TestLinkStats(t *testing.T) {
-	l := NewLink(DefaultLinkConfig())
+	l := MustLink(DefaultLinkConfig())
 	l.SendDown(72, 0)
 	l.SendDown(8, 0)
 	l.SendUp(72, 0)
@@ -110,7 +110,11 @@ func newTestCtrl(t *testing.T, subs int) *SimpleController {
 	for i := range mcs {
 		mcs[i] = mc.New(dram.NewChannel(dram.DDR31600(), 1, 8), cfg)
 	}
-	return NewSimpleController(NewLink(DefaultLinkConfig()), mcs, 32)
+	ctrl, err := NewSimpleController(MustLink(DefaultLinkConfig()), mcs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
 }
 
 func TestSimpleControllerReadRoundTrip(t *testing.T) {

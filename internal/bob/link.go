@@ -1,6 +1,9 @@
 package bob
 
 import (
+	"fmt"
+	"math"
+
 	"doram/internal/clock"
 	"doram/internal/stats"
 )
@@ -16,6 +19,25 @@ type LinkConfig struct {
 	LatencyCycles uint64
 }
 
+// maxLinkLatencyCycles bounds LatencyCycles to a physically plausible
+// range (1 ms at 3.2 GHz); beyond it a latency is almost certainly a
+// unit-conversion bug in the caller.
+const maxLinkLatencyCycles = 3_200_000
+
+// Validate reports whether the link configuration is usable.
+func (c LinkConfig) Validate() error {
+	switch {
+	case math.IsNaN(c.BytesPerCPUCycle) || math.IsInf(c.BytesPerCPUCycle, 0):
+		return fmt.Errorf("bob: link bandwidth %v is not finite", c.BytesPerCPUCycle)
+	case c.BytesPerCPUCycle <= 0:
+		return fmt.Errorf("bob: link bandwidth %v must be positive", c.BytesPerCPUCycle)
+	case c.LatencyCycles > maxLinkLatencyCycles:
+		return fmt.Errorf("bob: link latency %d cycles exceeds %d (unit error?)",
+			c.LatencyCycles, uint64(maxLinkLatencyCycles))
+	}
+	return nil
+}
+
 // DefaultLinkConfig returns the paper's link parameters.
 func DefaultLinkConfig() LinkConfig {
 	return LinkConfig{
@@ -24,35 +46,104 @@ func DefaultLinkConfig() LinkConfig {
 	}
 }
 
+// Outcome is the fate of one transfer attempt on an unreliable link.
+type Outcome int
+
+// Transfer attempt outcomes.
+const (
+	// Delivered means the packet arrived intact.
+	Delivered Outcome = iota
+	// Corrupted means the packet arrived but its checksum failed at the
+	// receiver, which discards it; the sender retransmits on timeout.
+	Corrupted
+	// Lost means the packet never arrived; the sender retransmits on
+	// timeout.
+	Lost
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Corrupted:
+		return "corrupted"
+	case Lost:
+		return "lost"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// FaultModel decides the fate of each transfer attempt on a link
+// direction. Implementations must be deterministic from their seed so
+// chaos campaigns reproduce exactly (internal/faults.LinkModel).
+type FaultModel interface {
+	NextOutcome() Outcome
+}
+
+// maxSendAttempts bounds retransmission so an adversarial fault model
+// cannot livelock the simulation; the final attempt is forced through
+// (modeling a higher-layer link reset) and counted in GiveUps.
+const maxSendAttempts = 20
+
 // LinkStats aggregates per-direction link activity.
 type LinkStats struct {
 	Packets stats.Counter
 	Bytes   stats.Counter
 	Busy    stats.Counter // cycles of serialization occupancy
+
+	// Unreliable-link recovery activity (zero unless a FaultModel is
+	// attached).
+	Corrupted   stats.Counter // attempts discarded by the receiver's checksum
+	Lost        stats.Counter // attempts that never arrived
+	Retransmits stats.Counter // extra transfer attempts
+	RetryCycles stats.Counter // delivery delay added by retransmission
+	GiveUps     stats.Counter // packets forced through at the attempt cap
 }
 
 // Link is one full-duplex serial link: independent down (CPU to BOB) and
 // up (BOB to CPU) directions, each a FIFO wire that serializes packets at
 // the configured bandwidth and delivers them after the fixed latency.
+// With a FaultModel attached, every packet carries a sequence-and-checksum
+// frame (FrameOverhead extra wire bytes) and corrupted or lost transfers
+// are retransmitted on timeout with exponential backoff, all modeled
+// cycle-accurately on the wire.
 type Link struct {
 	cfg  LinkConfig
 	down direction
 	up   direction
+
+	faults FaultModel
 }
 
 type direction struct {
 	freeAt uint64
+	seq    uint64 // next frame sequence number
 	stats  LinkStats
 }
 
-// NewLink builds a link. It panics on non-positive bandwidth, a
-// configuration programming error.
-func NewLink(cfg LinkConfig) *Link {
-	if cfg.BytesPerCPUCycle <= 0 {
-		panic("bob: link bandwidth must be positive")
+// NewLink builds a link, or reports why the configuration is invalid.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &Link{cfg: cfg}
+	return &Link{cfg: cfg}, nil
 }
+
+// MustLink builds a link from a configuration known to be valid; it
+// panics otherwise (for tests and static defaults).
+func MustLink(cfg LinkConfig) *Link {
+	l, err := NewLink(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// SetFaultModel attaches (or, with nil, detaches) an unreliable-link
+// model shared by both directions.
+func (l *Link) SetFaultModel(m FaultModel) { l.faults = m }
 
 // occupancy returns the serialization time of a packet of n bytes.
 func (l *Link) occupancy(n int) uint64 {
@@ -63,18 +154,59 @@ func (l *Link) occupancy(n int) uint64 {
 	return c
 }
 
-// send models one transfer on a direction and returns the delivery cycle.
-func (l *Link) send(d *direction, n int, now uint64) uint64 {
+// transfer models one wire occupancy on a direction and returns the
+// arrival cycle of that single attempt.
+func (l *Link) transfer(d *direction, n int, now uint64) uint64 {
 	start := now
 	if d.freeAt > start {
 		start = d.freeAt
 	}
 	occ := l.occupancy(n)
 	d.freeAt = start + occ
-	d.stats.Packets.Inc()
 	d.stats.Bytes.Add(uint64(n))
 	d.stats.Busy.Add(occ)
 	return d.freeAt + l.cfg.LatencyCycles
+}
+
+// send models one packet delivery on a direction and returns the cycle the
+// packet is accepted by the receiver. On a faulty link each failed attempt
+// occupies the wire, then the sender waits out a timeout (one round trip)
+// that doubles with every attempt before retransmitting.
+func (l *Link) send(d *direction, n int, now uint64) uint64 {
+	d.stats.Packets.Inc()
+	d.seq++
+	if l.faults == nil {
+		return l.transfer(d, n, now)
+	}
+	wire := n + FrameOverhead
+	firstArrival := l.transfer(d, wire, now)
+	arrival := firstArrival
+	timeout := l.occupancy(wire) + 2*l.cfg.LatencyCycles
+	for attempt := 0; ; attempt++ {
+		outcome := l.faults.NextOutcome()
+		if outcome == Delivered {
+			break
+		}
+		if attempt+1 >= maxSendAttempts {
+			d.stats.GiveUps.Inc()
+			break
+		}
+		switch outcome {
+		case Corrupted:
+			d.stats.Corrupted.Inc()
+		default:
+			d.stats.Lost.Inc()
+		}
+		// The sender detects the failure one timeout after launching the
+		// attempt, backing off exponentially, then reserializes the frame.
+		resend := arrival + timeout<<uint(attempt)
+		arrival = l.transfer(d, wire, resend)
+		d.stats.Retransmits.Inc()
+	}
+	if arrival > firstArrival {
+		d.stats.RetryCycles.Add(arrival - firstArrival)
+	}
+	return arrival
 }
 
 // SendDown transmits n bytes toward the BOB unit at CPU cycle now and

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Packet sizes on the serial link (§III-B, §III-C).
@@ -94,4 +95,57 @@ func Unmarshal(buf []byte) (Packet, error) {
 	p := Packet{Write: head&1 == 1, Addr: head >> 1}
 	copy(p.Data[:], buf[8:])
 	return p, nil
+}
+
+// Frame sizes for unreliable-link operation.
+const (
+	// FrameOverhead is the sequence number (4 B) plus CRC32 checksum (4 B)
+	// appended to every packet when a link runs with a fault model.
+	FrameOverhead = 8
+	// FrameBytes is the framed full packet's wire size.
+	FrameBytes = FullPacketBytes + FrameOverhead
+)
+
+// Frame wraps a packet with a sequence number and a checksum so the
+// receiver can discard corrupted transfers (triggering a retransmit) and
+// detect reordered or replayed packets on the serial link.
+type Frame struct {
+	Seq    uint32
+	Packet Packet
+}
+
+// Frame unmarshalling errors.
+var (
+	// ErrFrameSize is returned when a framed buffer has the wrong length.
+	ErrFrameSize = errors.New("bob: frame must be 80 bytes")
+	// ErrChecksum is returned when a frame's CRC32 does not match its
+	// contents — the wire corruption signal that triggers retransmission.
+	ErrChecksum = errors.New("bob: frame checksum mismatch")
+)
+
+// Marshal serializes the frame: the 72-byte packet, the sequence number,
+// then a CRC32 (IEEE) over everything before it.
+func (f Frame) Marshal() []byte {
+	buf := make([]byte, FrameBytes)
+	copy(buf, f.Packet.Marshal())
+	binary.LittleEndian.PutUint32(buf[FullPacketBytes:], f.Seq)
+	sum := crc32.ChecksumIEEE(buf[:FullPacketBytes+4])
+	binary.LittleEndian.PutUint32(buf[FullPacketBytes+4:], sum)
+	return buf
+}
+
+// UnmarshalFrame parses and verifies a framed wire packet.
+func UnmarshalFrame(buf []byte) (Frame, error) {
+	if len(buf) != FrameBytes {
+		return Frame{}, ErrFrameSize
+	}
+	want := binary.LittleEndian.Uint32(buf[FullPacketBytes+4:])
+	if crc32.ChecksumIEEE(buf[:FullPacketBytes+4]) != want {
+		return Frame{}, ErrChecksum
+	}
+	pkt, err := Unmarshal(buf[:FullPacketBytes])
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Seq: binary.LittleEndian.Uint32(buf[FullPacketBytes:]), Packet: pkt}, nil
 }

@@ -1,6 +1,8 @@
 package bob
 
 import (
+	"fmt"
+
 	"doram/internal/addrmap"
 	"doram/internal/clock"
 	"doram/internal/mc"
@@ -54,14 +56,16 @@ type SimpleController struct {
 // NewSimpleController builds a controller over the given link and
 // sub-channel memory controllers. inQCap bounds the on-board request
 // buffer (back-pressure to the CPU when full).
-func NewSimpleController(link *Link, subs []*mc.Controller, inQCap int) *SimpleController {
-	if len(subs) == 0 {
-		panic("bob: simple controller needs at least one sub-channel")
+func NewSimpleController(link *Link, subs []*mc.Controller, inQCap int) (*SimpleController, error) {
+	switch {
+	case link == nil:
+		return nil, fmt.Errorf("bob: simple controller needs a link")
+	case len(subs) == 0:
+		return nil, fmt.Errorf("bob: simple controller needs at least one sub-channel")
+	case inQCap < 1:
+		return nil, fmt.Errorf("bob: input queue capacity %d must be positive", inQCap)
 	}
-	if inQCap < 1 {
-		panic("bob: input queue capacity must be positive")
-	}
-	return &SimpleController{link: link, subs: subs, inQCap: inQCap}
+	return &SimpleController{link: link, subs: subs, inQCap: inQCap}, nil
 }
 
 // Link returns the channel's serial link (shared with the SD on the

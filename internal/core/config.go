@@ -125,6 +125,13 @@ type Config struct {
 	// MCPolicy selects the memory scheduling policy (default FR-FCFS,
 	// USIMM's reference scheduler).
 	MCPolicy mc.Policy
+	// LinkCorruptProb / LinkLossProb inject per-attempt serial-link faults
+	// on every BOB link (DORAM scheme): a corrupted frame fails the
+	// receiver's checksum, a lost one times out; both trigger retransmits
+	// with exponential backoff. 0/0 (the default) models reliable links
+	// with no framing overhead.
+	LinkCorruptProb float64
+	LinkLossProb    float64
 	// DDR4 swaps the DDR3-1600 devices for DDR4-2400 (four bank groups,
 	// sixteen banks, tCCD_L/tRRD_L spacing) — a memory-generation
 	// ablation beyond the paper's Table II.
@@ -180,6 +187,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Pace must be positive")
 	case c.CoopThreshold <= 0 || c.CoopThreshold > 1:
 		return fmt.Errorf("core: CoopThreshold out of (0,1]")
+	case c.LinkCorruptProb < 0 || c.LinkCorruptProb > 1 || c.LinkCorruptProb != c.LinkCorruptProb:
+		return fmt.Errorf("core: LinkCorruptProb %v out of [0,1]", c.LinkCorruptProb)
+	case c.LinkLossProb < 0 || c.LinkLossProb > 1 || c.LinkLossProb != c.LinkLossProb:
+		return fmt.Errorf("core: LinkLossProb %v out of [0,1]", c.LinkLossProb)
+	case (c.LinkCorruptProb > 0 || c.LinkLossProb > 0) && c.Scheme != DORAM:
+		return fmt.Errorf("core: link fault injection requires the DORAM scheme")
 	}
 	for _, ch := range c.NSChannels {
 		if ch < 0 || ch >= NumChannels {

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+func TestUnreliableLinksRecoverAndReport(t *testing.T) {
+	cfg := quick(DORAM, "face")
+	cfg.TraceLen = 1500
+	cfg.LinkCorruptProb = 0.02
+	cfg.LinkLossProb = 0.01
+	res := runCfg(t, cfg)
+
+	lf := res.TotalLinkFaults()
+	if lf.Corrupted == 0 || lf.Lost == 0 {
+		t.Fatalf("no link faults injected at 3%% rate: %+v", lf)
+	}
+	if lf.Retransmits != lf.Corrupted+lf.Lost {
+		t.Fatalf("retransmits %d != corrupted %d + lost %d",
+			lf.Retransmits, lf.Corrupted, lf.Lost)
+	}
+	if lf.RetryCycles == 0 {
+		t.Fatal("link recovery charged zero cycles")
+	}
+	if lf.GiveUps != 0 {
+		t.Fatalf("%d sends gave up at a moderate fault rate", lf.GiveUps)
+	}
+	// Every NS core must still finish — retransmission makes the system
+	// slower, not wrong.
+	for i, f := range res.NSFinish {
+		if f == 0 {
+			t.Fatalf("NS core %d never finished under link faults", i)
+		}
+	}
+}
+
+func TestUnreliableLinksSlowTheRunDeterministically(t *testing.T) {
+	base := quick(DORAM, "libq")
+	base.TraceLen = 1000
+	clean := runCfg(t, base)
+
+	faulty := base
+	faulty.LinkCorruptProb = 0.05
+	faulty.LinkLossProb = 0.02
+	a := runCfg(t, faulty)
+	b := runCfg(t, faulty)
+	if a.Cycles != b.Cycles || a.TotalLinkFaults() != b.TotalLinkFaults() {
+		t.Fatalf("faulty runs diverged: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+	if a.Cycles <= clean.Cycles {
+		t.Fatalf("7%% link fault rate did not slow the run: %d vs %d cycles",
+			a.Cycles, clean.Cycles)
+	}
+	if clean.TotalLinkFaults() != (LinkFaultStats{}) {
+		t.Fatalf("reliable links reported faults: %+v", clean.TotalLinkFaults())
+	}
+}
+
+func TestLinkFaultConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.LinkCorruptProb = -0.1 },
+		func(c *Config) { c.LinkLossProb = 1.5 },
+		func(c *Config) { c.Scheme = NonSecure; c.HasSApp = false; c.LinkLossProb = 0.1 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig(DORAM, "face")
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid link fault config accepted", i)
+		}
+	}
+}

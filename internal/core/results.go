@@ -54,6 +54,39 @@ type Results struct {
 	// ChannelRowHitRate approximates each channel's row-buffer hit rate:
 	// column issues over column issues plus conflict precharges.
 	ChannelRowHitRate [NumChannels]float64
+
+	// LinkFaults holds each BOB link's fault-recovery counters (both
+	// directions summed; DORAM scheme only, all zero on reliable links).
+	LinkFaults [NumChannels]LinkFaultStats
+}
+
+// LinkFaultStats summarizes one serial link's unreliability and the cost
+// of recovering from it.
+type LinkFaultStats struct {
+	// Corrupted / Lost count transfer attempts discarded by the receiver's
+	// frame checksum or dropped in flight.
+	Corrupted uint64
+	Lost      uint64
+	// Retransmits counts the extra transfer attempts issued to recover.
+	Retransmits uint64
+	// GiveUps counts sends that exhausted the retransmit budget.
+	GiveUps uint64
+	// RetryCycles is the total delivery delay (CPU cycles) retransmission
+	// added on top of fault-free timing.
+	RetryCycles uint64
+}
+
+// TotalLinkFaults sums the per-channel link fault stats.
+func (r *Results) TotalLinkFaults() LinkFaultStats {
+	var t LinkFaultStats
+	for _, l := range r.LinkFaults {
+		t.Corrupted += l.Corrupted
+		t.Lost += l.Lost
+		t.Retransmits += l.Retransmits
+		t.GiveUps += l.GiveUps
+		t.RetryCycles += l.RetryCycles
+	}
+	return t
 }
 
 // AvgNSIPC returns the mean NS instructions per cycle.

@@ -9,6 +9,7 @@ import (
 	"doram/internal/cpu"
 	"doram/internal/delegator"
 	"doram/internal/dram"
+	"doram/internal/faults"
 	"doram/internal/mc"
 	"doram/internal/oram"
 	"doram/internal/oram/layout"
@@ -95,6 +96,17 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	if cfg.Scheme == DORAM {
+		newBob := func(c int, subs []*mc.Controller) (*bob.SimpleController, error) {
+			link, err := bob.NewLink(linkCfg)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.LinkCorruptProb > 0 || cfg.LinkLossProb > 0 {
+				link.SetFaultModel(faults.NewLinkModel(
+					cfg.Seed^0x11f4+uint64(c)*0x9d5f, cfg.LinkCorruptProb, cfg.LinkLossProb))
+			}
+			return bob.NewSimpleController(link, subs, 64)
+		}
 		// Channel 0: 4 sub-channels behind one serial link; channels 1..3:
 		// 1 sub-channel each (§IV).
 		subs := make([]*mc.Controller, SecureSubChannels)
@@ -103,12 +115,18 @@ func NewSystem(cfg Config) (*System, error) {
 			subs[i] = newMC()
 			subBuses[i] = i
 		}
-		s.bobs = append(s.bobs,
-			bob.NewSimpleController(bob.NewLink(linkCfg), subs, 64))
+		b, err := newBob(0, subs)
+		if err != nil {
+			return nil, err
+		}
+		s.bobs = append(s.bobs, b)
 		s.chanMappers[0] = addrmap.New(geo, addrmap.OpenPage, subBuses)
 		for c := 1; c < NumChannels; c++ {
-			s.bobs = append(s.bobs,
-				bob.NewSimpleController(bob.NewLink(linkCfg), []*mc.Controller{newMC()}, 64))
+			b, err := newBob(c, []*mc.Controller{newMC()})
+			if err != nil {
+				return nil, err
+			}
+			s.bobs = append(s.bobs, b)
 			s.chanMappers[c] = addrmap.New(geo, addrmap.OpenPage, []int{0})
 		}
 	} else {
@@ -398,6 +416,14 @@ func (s *System) collect(cyc uint64) {
 	}
 	if s.cfg.Scheme == DORAM {
 		for c, b := range s.bobs {
+			for _, st := range []*bob.LinkStats{b.Link().DownStats(), b.Link().UpStats()} {
+				lf := &s.res.LinkFaults[c]
+				lf.Corrupted += st.Corrupted.Value()
+				lf.Lost += st.Lost.Value()
+				lf.Retransmits += st.Retransmits.Value()
+				lf.GiveUps += st.GiveUps.Value()
+				lf.RetryCycles += st.RetryCycles.Value()
+			}
 			var hits, miss uint64
 			for _, sub := range b.SubChannels() {
 				s.res.ChannelDataBusBusy[c] += sub.Channel().Stats().DataBus.Busy()

@@ -39,11 +39,17 @@ func newRig(t *testing.T, split int, pace uint64) *rig {
 	t.Helper()
 	p := testParams(split)
 	secureSubs := []*mc.Controller{newMC(), newMC(), newMC(), newMC()}
-	secure := bob.NewSimpleController(bob.NewLink(bob.DefaultLinkConfig()), secureSubs, 32)
+	secure, err := bob.NewSimpleController(bob.MustLink(bob.DefaultLinkConfig()), secureSubs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var normals []*bob.SimpleController
 	for i := 0; i < 3; i++ {
-		normals = append(normals,
-			bob.NewSimpleController(bob.NewLink(bob.DefaultLinkConfig()), []*mc.Controller{newMC()}, 32))
+		nc, err := bob.NewSimpleController(bob.MustLink(bob.DefaultLinkConfig()), []*mc.Controller{newMC()}, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normals = append(normals, nc)
 	}
 	lay := layout.New(p, layout.DefaultSubtreeLevels, split)
 	sd, err := NewSD(DefaultSDConfig(), oram.NewSampler(p, 7), lay, secure, normals, testGeo())
@@ -273,8 +279,11 @@ func TestOnChipRejectsSplitLayout(t *testing.T) {
 
 func TestNewSDValidation(t *testing.T) {
 	p := testParams(0)
-	secure := bob.NewSimpleController(bob.NewLink(bob.DefaultLinkConfig()),
+	secure, err := bob.NewSimpleController(bob.MustLink(bob.DefaultLinkConfig()),
 		[]*mc.Controller{newMC()}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Mismatched levels between sampler and layout.
 	pBig := testParams(2)
 	if _, err := NewSD(DefaultSDConfig(), oram.NewSampler(pBig, 1),

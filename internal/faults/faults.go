@@ -1,0 +1,157 @@
+// Package faults provides deterministic, seed-driven adversarial fault
+// injection for the D-ORAM stack: tampering with the untrusted bucket
+// store (bit flips, stale-bucket replay, dropped writes, whole-bucket
+// garbage) and an unreliable-serial-link model (packet corruption and
+// loss). Every campaign is reproducible from its seed, so a failure found
+// in a chaos run can be replayed exactly.
+//
+// The paper's security argument assumes an untrusted memory unit whose
+// tampering is *detected* (per-bucket MACs or a Merkle tree) — this
+// package supplies the attacker, and internal/oram supplies the bounded
+// retry/alarm recovery the detection mechanisms escalate into.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"doram/internal/xrand"
+)
+
+// Kind classifies injected storage faults.
+type Kind int
+
+// Storage fault kinds.
+const (
+	// BitFlip flips one random bit of a bucket image on a read (transient)
+	// or in the stored image (persistent).
+	BitFlip Kind = iota
+	// Replay serves a stale version of a bucket — the classic rollback
+	// attack version counters and Merkle roots exist to defeat.
+	Replay
+	// DroppedWrite silently discards a bucket write-back, leaving the old
+	// ciphertext in place. Inherently persistent: the store can never
+	// return the data the client expects.
+	DroppedWrite
+	// Garbage replaces a bucket image with random bytes.
+	Garbage
+
+	// NumKinds is the number of storage fault kinds.
+	NumKinds
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case Replay:
+		return "replay"
+	case DroppedWrite:
+		return "dropped-write"
+	case Garbage:
+		return "garbage"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault: at storage operation Seq (read index for
+// read-side faults, write index for DroppedWrite) the fault fires against
+// whatever bucket that operation touches. Persistent faults tamper with
+// the stored image so re-reads cannot heal; transient faults disturb only
+// the value returned once.
+type Event struct {
+	Kind       Kind
+	Seq        uint64
+	Persistent bool
+}
+
+// PlanConfig sizes a fault campaign.
+type PlanConfig struct {
+	// Seed drives all scheduling and payload randomness; equal seeds give
+	// byte-identical campaigns.
+	Seed uint64
+	// BitFlips, Replays, DroppedWrites and Garbage count the events of
+	// each kind scheduled over the horizon.
+	BitFlips      int
+	Replays       int
+	DroppedWrites int
+	Garbage       int
+	// PersistentFraction is the probability each event tampers with the
+	// stored image instead of a single returned copy. DroppedWrite events
+	// are always persistent regardless.
+	PersistentFraction float64
+	// Horizon is the storage-operation window the events are spread over.
+	// A Path ORAM access performs NodesPerAccess reads and writes, so a
+	// campaign of N accesses should use roughly N*NodesPerAccess.
+	Horizon uint64
+}
+
+// Validate reports whether the campaign is well-formed.
+func (c PlanConfig) Validate() error {
+	switch {
+	case c.BitFlips < 0 || c.Replays < 0 || c.DroppedWrites < 0 || c.Garbage < 0:
+		return fmt.Errorf("faults: negative event count")
+	case c.PersistentFraction < 0 || c.PersistentFraction > 1:
+		return fmt.Errorf("faults: PersistentFraction %v out of [0,1]", c.PersistentFraction)
+	case c.Horizon == 0 && c.BitFlips+c.Replays+c.DroppedWrites+c.Garbage > 0:
+		return fmt.Errorf("faults: events scheduled over a zero horizon")
+	}
+	return nil
+}
+
+// Plan is a reproducible fault schedule. Read-side events (bit flips,
+// replays, garbage) key on the read-operation counter; dropped writes key
+// on the write-operation counter.
+type Plan struct {
+	cfg    PlanConfig
+	reads  map[uint64][]Event // read seq -> events due
+	writes map[uint64][]Event
+	events []Event // full schedule, seq-ordered per stream, for reports
+}
+
+// NewPlan schedules a campaign, or reports why the configuration is
+// invalid.
+func NewPlan(cfg PlanConfig) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{cfg: cfg, reads: map[uint64][]Event{}, writes: map[uint64][]Event{}}
+	rng := xrand.New(cfg.Seed ^ 0xfa17)
+	schedule := func(kind Kind, n int) {
+		for i := 0; i < n; i++ {
+			ev := Event{Kind: kind, Seq: rng.Uint64n(cfg.Horizon)}
+			ev.Persistent = kind == DroppedWrite || rng.Bool(cfg.PersistentFraction)
+			if kind == DroppedWrite {
+				p.writes[ev.Seq] = append(p.writes[ev.Seq], ev)
+			} else {
+				p.reads[ev.Seq] = append(p.reads[ev.Seq], ev)
+			}
+			p.events = append(p.events, ev)
+		}
+	}
+	schedule(BitFlip, cfg.BitFlips)
+	schedule(Replay, cfg.Replays)
+	schedule(DroppedWrite, cfg.DroppedWrites)
+	schedule(Garbage, cfg.Garbage)
+	sort.SliceStable(p.events, func(i, j int) bool { return p.events[i].Seq < p.events[j].Seq })
+	return p, nil
+}
+
+// Config returns the campaign parameters.
+func (p *Plan) Config() PlanConfig { return p.cfg }
+
+// Events returns the full schedule ordered by operation sequence, for
+// reports and reproducibility checks.
+func (p *Plan) Events() []Event {
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// readEvents returns the events due at read-operation seq.
+func (p *Plan) readEvents(seq uint64) []Event { return p.reads[seq] }
+
+// writeEvents returns the events due at write-operation seq.
+func (p *Plan) writeEvents(seq uint64) []Event { return p.writes[seq] }

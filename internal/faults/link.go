@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"fmt"
+
+	"doram/internal/bob"
+	"doram/internal/xrand"
+)
+
+// LinkModel is a seeded unreliable-link model: each transfer attempt is
+// independently corrupted with CorruptProb (the frame checksum catches it
+// at the receiver) or lost with LossProb (it never arrives), and is
+// otherwise delivered. It implements bob.FaultModel.
+type LinkModel struct {
+	corrupt float64
+	loss    float64
+	rng     *xrand.Rand
+
+	outcomes [3]uint64 // indexed by bob.Outcome
+}
+
+// maxLinkFaultProb keeps the per-attempt fault probability away from 1 so
+// retransmission terminates in expectation.
+const maxLinkFaultProb = 0.9
+
+// NewLinkModel builds a link fault model. Probabilities are clamped so
+// corrupt+loss <= 0.9 per attempt.
+func NewLinkModel(seed uint64, corruptProb, lossProb float64) *LinkModel {
+	m := &LinkModel{corrupt: clampProb(corruptProb), loss: clampProb(lossProb),
+		rng: xrand.New(seed ^ 0x11c4)}
+	if m.corrupt+m.loss > maxLinkFaultProb {
+		scale := maxLinkFaultProb / (m.corrupt + m.loss)
+		m.corrupt *= scale
+		m.loss *= scale
+	}
+	return m
+}
+
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0 || p != p: // negative or NaN
+		return 0
+	case p > maxLinkFaultProb:
+		return maxLinkFaultProb
+	}
+	return p
+}
+
+// NextOutcome implements bob.FaultModel.
+func (m *LinkModel) NextOutcome() bob.Outcome {
+	u := m.rng.Float64()
+	out := bob.Delivered
+	switch {
+	case u < m.corrupt:
+		out = bob.Corrupted
+	case u < m.corrupt+m.loss:
+		out = bob.Lost
+	}
+	m.outcomes[out]++
+	return out
+}
+
+// Attempts returns the transfer attempts decided so far.
+func (m *LinkModel) Attempts() uint64 {
+	return m.outcomes[bob.Delivered] + m.outcomes[bob.Corrupted] + m.outcomes[bob.Lost]
+}
+
+// Faulted returns the attempts that were corrupted or lost.
+func (m *LinkModel) Faulted() uint64 {
+	return m.outcomes[bob.Corrupted] + m.outcomes[bob.Lost]
+}
+
+// String summarizes the model for chaos reports.
+func (m *LinkModel) String() string {
+	return fmt.Sprintf("link faults: corrupt=%.3g loss=%.3g (%d/%d attempts faulted)",
+		m.corrupt, m.loss, m.Faulted(), m.Attempts())
+}

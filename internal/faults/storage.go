@@ -1,0 +1,169 @@
+package faults
+
+import (
+	"doram/internal/oram"
+	"doram/internal/xrand"
+)
+
+// StorageStats counts the faults a FaultyStorage actually delivered.
+type StorageStats struct {
+	Reads  uint64
+	Writes uint64
+	// Injected counts delivered faults by Kind.
+	Injected [NumKinds]uint64
+	// Persistent counts the injected faults that tampered with the stored
+	// image (and so cannot heal on re-read).
+	Persistent uint64
+	// Deferred counts scheduled events that found no applicable target
+	// (e.g. a replay of a never-rewritten bucket) and were dropped.
+	Deferred uint64
+}
+
+// Total returns the number of faults delivered.
+func (s StorageStats) Total() uint64 {
+	var n uint64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// FaultyStorage wraps an oram.Storage and applies a Plan's scheduled
+// tampering. It is the adversary of the paper's threat model: it may
+// corrupt, replay, drop or garble bucket images, but it cannot forge
+// MACs or hashes — so every delivered fault must be *detected* by the
+// client's integrity machinery, and transient ones must heal on re-read.
+type FaultyStorage struct {
+	inner oram.Storage
+	plan  *Plan
+	rng   *xrand.Rand
+
+	// prev holds each bucket's previous image, the replay attacker's
+	// stash of stale-but-authentic ciphertexts.
+	prev map[oram.NodeID][]byte
+	// cur mirrors the latest written image so persistent tampering can
+	// modify storage without reading through (and without tripping the
+	// wrapped store's own accounting, if any).
+	cur map[oram.NodeID][]byte
+
+	stats StorageStats
+}
+
+// WrapStorage applies plan to inner. A nil plan injects nothing (the
+// wrapper becomes a transparent pass-through with operation counting).
+func WrapStorage(inner oram.Storage, plan *Plan) *FaultyStorage {
+	seed := uint64(0)
+	if plan != nil {
+		seed = plan.cfg.Seed
+	}
+	return &FaultyStorage{
+		inner: inner,
+		plan:  plan,
+		rng:   xrand.New(seed ^ 0x5707a6e),
+		prev:  map[oram.NodeID][]byte{},
+		cur:   map[oram.NodeID][]byte{},
+	}
+}
+
+// Stats returns the injection counters.
+func (f *FaultyStorage) Stats() StorageStats { return f.stats }
+
+// ReadBucket implements oram.Storage, applying any read-side fault due at
+// this operation index.
+func (f *FaultyStorage) ReadBucket(node oram.NodeID) []byte {
+	seq := f.stats.Reads
+	f.stats.Reads++
+	buf := f.inner.ReadBucket(node)
+	if f.plan == nil {
+		return buf
+	}
+	for _, ev := range f.plan.readEvents(seq) {
+		buf = f.applyRead(ev, node, buf)
+	}
+	return buf
+}
+
+// applyRead delivers one read-side fault against the bucket being read.
+func (f *FaultyStorage) applyRead(ev Event, node oram.NodeID, buf []byte) []byte {
+	switch ev.Kind {
+	case BitFlip:
+		if len(buf) == 0 {
+			f.stats.Deferred++
+			return buf
+		}
+		out := append([]byte(nil), buf...)
+		bit := f.rng.Uint64n(uint64(len(out)) * 8)
+		out[bit/8] ^= 1 << (bit % 8)
+		if ev.Persistent {
+			f.storeTampered(node, out)
+		}
+		f.record(ev)
+		return out
+	case Replay:
+		stale, ok := f.prev[node]
+		if !ok {
+			f.stats.Deferred++
+			return buf
+		}
+		out := append([]byte(nil), stale...)
+		if ev.Persistent {
+			f.storeTampered(node, out)
+		}
+		f.record(ev)
+		return out
+	case Garbage:
+		if len(buf) == 0 {
+			f.stats.Deferred++
+			return buf
+		}
+		out := make([]byte, len(buf))
+		for i := range out {
+			out[i] = byte(f.rng.Uint64())
+		}
+		if ev.Persistent {
+			f.storeTampered(node, out)
+		}
+		f.record(ev)
+		return out
+	default:
+		f.stats.Deferred++
+		return buf
+	}
+}
+
+// WriteBucket implements oram.Storage, dropping the write when a
+// DroppedWrite event is due at this operation index.
+func (f *FaultyStorage) WriteBucket(node oram.NodeID, buf []byte) {
+	seq := f.stats.Writes
+	f.stats.Writes++
+	if f.plan != nil {
+		for _, ev := range f.plan.writeEvents(seq) {
+			if ev.Kind != DroppedWrite {
+				continue
+			}
+			if _, everWritten := f.cur[node]; !everWritten {
+				// Dropping a bucket's very first write would leave a nil
+				// image, which reads back as legitimately-empty rather
+				// than tampered; skip to keep every fault detectable.
+				f.stats.Deferred++
+				continue
+			}
+			f.record(ev)
+			return
+		}
+	}
+	if cur, ok := f.cur[node]; ok {
+		f.prev[node] = cur
+	}
+	f.cur[node] = append([]byte(nil), buf...)
+	f.inner.WriteBucket(node, buf)
+}
+
+// storeTampered commits a tampered image so subsequent reads keep
+// returning it (persistent faults).
+func (f *FaultyStorage) storeTampered(node oram.NodeID, buf []byte) {
+	f.inner.WriteBucket(node, buf)
+	f.stats.Persistent++
+}
+
+func (f *FaultyStorage) record(ev Event) { f.stats.Injected[ev.Kind]++ }

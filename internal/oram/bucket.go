@@ -6,7 +6,6 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
-	"errors"
 	"fmt"
 )
 
@@ -33,11 +32,16 @@ func encodeBucket(blocks []*Block, z, blockSize int) []byte {
 	return buf
 }
 
-// decodeBucket parses a bucket image into its valid blocks.
+// decodeBucket parses a bucket image into its valid blocks. A truncated
+// image (possible only when integrity checking is disabled and storage is
+// hostile) yields the slots that fit rather than panicking.
 func decodeBucket(buf []byte, z, blockSize int) []*Block {
 	var out []*Block
 	for i := 0; i < z; i++ {
 		off := i * (slotHeader + blockSize)
+		if off+slotHeader+blockSize > len(buf) {
+			break
+		}
 		if buf[off] == 0 {
 			continue
 		}
@@ -50,9 +54,6 @@ func decodeBucket(buf []byte, z, blockSize int) []*Block {
 	}
 	return out
 }
-
-// ErrIntegrity is returned when a bucket fails its authentication check.
-var ErrIntegrity = errors.New("oram: bucket integrity check failed")
 
 // MACSize is the truncated tag length appended to authenticated buckets.
 const MACSize = 16
@@ -112,17 +113,18 @@ func (c *Crypto) Seal(node NodeID, version uint64, plain []byte) []byte {
 	return append(out, tag[:MACSize]...)
 }
 
-// Open decrypts (and, if enabled, authenticates) a sealed bucket.
+// Open decrypts (and, if enabled, authenticates) a sealed bucket. A
+// failed authentication returns ErrIntegrity naming the node.
 func (c *Crypto) Open(node NodeID, version uint64, sealed []byte) ([]byte, error) {
 	body := sealed
 	if c.useMAC {
 		if len(sealed) < MACSize {
-			return nil, ErrIntegrity
+			return nil, ErrIntegrity{Node: node, Level: node.Level(), Mechanism: MechMAC}
 		}
 		body = sealed[:len(sealed)-MACSize]
 		want := c.tag(node, version, body)
 		if !hmac.Equal(want[:MACSize], sealed[len(body):]) {
-			return nil, ErrIntegrity
+			return nil, ErrIntegrity{Node: node, Level: node.Level(), Mechanism: MechMAC}
 		}
 	}
 	out := make([]byte, len(body))
@@ -143,8 +145,12 @@ func (c *Crypto) tag(node NodeID, version uint64, ct []byte) []byte {
 // Storage is the untrusted memory holding encrypted buckets.
 type Storage interface {
 	// ReadBucket returns the stored image for node (nil if never written).
+	// The returned slice is the caller's to keep: implementations must not
+	// alias it to live internal state, so that a caller mutating the
+	// buffer cannot silently corrupt stored ciphertext.
 	ReadBucket(node NodeID) []byte
-	// WriteBucket replaces the stored image for node.
+	// WriteBucket replaces the stored image for node. Implementations copy
+	// buf; the caller may reuse it afterwards.
 	WriteBucket(node NodeID, buf []byte)
 }
 
@@ -158,8 +164,14 @@ func NewMemStorage(n uint64) *MemStorage {
 	return &MemStorage{bufs: make([][]byte, n)}
 }
 
-// ReadBucket implements Storage.
-func (m *MemStorage) ReadBucket(node NodeID) []byte { return m.bufs[node] }
+// ReadBucket implements Storage. It returns a copy, never the live
+// internal slice.
+func (m *MemStorage) ReadBucket(node NodeID) []byte {
+	if m.bufs[node] == nil {
+		return nil
+	}
+	return append([]byte(nil), m.bufs[node]...)
+}
 
 // WriteBucket implements Storage.
 func (m *MemStorage) WriteBucket(node NodeID, buf []byte) {

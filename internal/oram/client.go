@@ -46,6 +46,17 @@ type Client struct {
 	bgMaxPerAccess int
 	bgEvictions    uint64
 
+	// Stash-pressure relief: when occupancy reaches pressureThreshold, up
+	// to pressureMax dummy accesses run before the next real access so the
+	// protocol degrades (extra dummies) instead of failing with
+	// ErrStashOverflow.
+	pressureThreshold int
+	pressureMax       int
+
+	// Integrity-failure recovery (bounded re-read retries before alarm).
+	rec      RecoveryConfig
+	recStats RecoveryStats
+
 	rng *xrand.Rand
 
 	accesses uint64
@@ -82,8 +93,14 @@ func NewClientWithMap(p Params, store Storage, key []byte, withMAC bool, seed ui
 		crypto:   crypto,
 		versions: make([]uint64, p.NumNodes()),
 		top:      make([][]*Block, topNodes),
+		rec:      DefaultRecoveryConfig(),
 		rng:      xrand.New(seed),
 	}
+	// Pressure relief engages at 90% occupancy by default — far above any
+	// healthy workload's high-water mark, so it only changes behaviour
+	// when overflow is otherwise imminent.
+	c.pressureThreshold = p.StashCapacity * 9 / 10
+	c.pressureMax = 4
 	return c, nil
 }
 
@@ -112,6 +129,9 @@ func (c *Client) Access(op Op, addr uint64, data []byte) ([]byte, Trace, error) 
 	}
 	if len(data) > c.p.BlockSize {
 		return nil, Trace{}, fmt.Errorf("oram: data %d bytes exceeds block size %d", len(data), c.p.BlockSize)
+	}
+	if err := c.relieveStashPressure(); err != nil {
+		return nil, Trace{}, err
 	}
 	leaf := c.pos.Get(addr)
 	if leaf == InvalidPath {
@@ -187,6 +207,48 @@ func (c *Client) backgroundEvict() error {
 	return nil
 }
 
+// SetRecovery replaces the integrity-failure recovery policy. A
+// MaxRetries of 0 restores fail-fast behaviour (first failure surfaces
+// directly, no alarm escalation).
+func (c *Client) SetRecovery(cfg RecoveryConfig) { c.rec = cfg }
+
+// Recovery returns the active recovery policy.
+func (c *Client) Recovery() RecoveryConfig { return c.rec }
+
+// RecoveryStats returns the fault-recovery counters accumulated so far.
+func (c *Client) RecoveryStats() RecoveryStats { return c.recStats }
+
+// SetStashPressureRelief reconfigures graceful degradation under stash
+// pressure: when occupancy reaches threshold at the start of an access,
+// up to maxPerAccess dummy evictions run first to drain it. A threshold
+// of 0 disables the mechanism (restoring hard ErrStashOverflow behaviour
+// at capacity). The default is 90% of StashCapacity with 4 evictions.
+func (c *Client) SetStashPressureRelief(threshold, maxPerAccess int) {
+	c.pressureThreshold = threshold
+	c.pressureMax = maxPerAccess
+}
+
+// relieveStashPressure issues dummy path evictions while the stash sits
+// at or above the pressure threshold. These are protocol-internal and do
+// not count as accesses.
+func (c *Client) relieveStashPressure() error {
+	if c.pressureThreshold <= 0 {
+		return nil
+	}
+	for i := 0; i < c.pressureMax && c.stash.Len() >= c.pressureThreshold; i++ {
+		leaf := c.rng.Uint64n(c.p.NumLeaves())
+		tr, err := c.readPath(leaf)
+		if err != nil {
+			return err
+		}
+		if err := c.writePath(leaf, &tr); err != nil {
+			return err
+		}
+		c.recStats.PressureEvictions++
+	}
+	return nil
+}
+
 // DummyAccess performs a full path read+write on a uniformly random leaf
 // without serving any block. D-ORAM issues these to keep the request rate
 // fixed (timing-channel protection, §III-B).
@@ -216,36 +278,61 @@ func (c *Client) EnableMerkle() error {
 }
 
 // readPath moves every block on the path to leaf into the stash and
-// records the memory reads.
+// records the memory reads. It runs in two phases: fetch-and-verify first
+// (with bounded re-read recovery on integrity failures), then commit into
+// the stash — so a tampered path never leaks partially into client state.
 func (c *Client) readPath(leaf uint64) (Trace, error) {
 	tr := Trace{Leaf: leaf}
+	nodes := make([]NodeID, c.p.Levels+1)
+	for level := range nodes {
+		nodes[level] = NodeAt(level, leaf, c.p.Levels)
+	}
+
+	// Phase 1: fetch ciphertexts and authenticate. A Merkle failure
+	// localizes only to the path, so recovery there re-fetches the whole
+	// path (each attempt MAC-verifies again too).
+	plains := make([][]byte, len(nodes))
 	var cts [][]byte
 	if c.merkle != nil {
-		cts = make([][]byte, 0, c.p.Levels+1)
+		cts = make([][]byte, len(nodes))
 	}
-	for level := 0; level <= c.p.Levels; level++ {
-		node := NodeAt(level, leaf, c.p.Levels)
+	for pathAttempt := 0; ; pathAttempt++ {
+		if err := c.fetchPath(nodes, cts, plains); err != nil {
+			return Trace{}, err
+		}
+		if c.merkle == nil {
+			break
+		}
+		err := c.merkle.VerifyPath(leaf, cts)
+		if err == nil {
+			break
+		}
+		leafNode := nodes[len(nodes)-1]
+		if c.rec.MaxRetries == 0 {
+			return Trace{}, ErrIntegrity{Node: leafNode, Level: -1, Mechanism: MechMerkle}
+		}
+		if pathAttempt >= c.rec.MaxRetries {
+			c.recStats.Alarms++
+			return Trace{}, ErrSecurityAlarm{Node: leafNode, Mechanism: MechMerkle,
+				Attempts: pathAttempt + 1}
+		}
+		c.recStats.PathRetries++
+		c.recStats.RecoveryCycles += c.rec.RetryCostCycles * uint64(len(nodes)-c.p.TopCacheLevels)
+	}
+
+	// Phase 2: commit. Drain the cached top levels and move every
+	// authenticated path block into the stash.
+	for level, node := range nodes {
 		var blocks []*Block
 		if level < c.p.TopCacheLevels {
 			blocks = c.top[node]
 			c.top[node] = nil
-			if c.merkle != nil {
-				cts = append(cts, nil) // cached levels carry no ciphertext
-			}
 		} else {
 			tr.ReadNodes = append(tr.ReadNodes, node)
-			sealed := c.store.ReadBucket(node)
-			if c.merkle != nil {
-				cts = append(cts, sealed)
-			}
-			if sealed == nil {
+			if plains[level] == nil {
 				continue // never written: empty bucket
 			}
-			plain, err := c.crypto.Open(node, c.versions[node], sealed)
-			if err != nil {
-				return Trace{}, err
-			}
-			blocks = decodeBucket(plain, c.p.Z, c.p.BlockSize)
+			blocks = decodeBucket(plains[level], c.p.Z, c.p.BlockSize)
 		}
 		for _, b := range blocks {
 			if err := c.stash.Put(b); err != nil {
@@ -253,12 +340,58 @@ func (c *Client) readPath(leaf uint64) (Trace, error) {
 			}
 		}
 	}
-	if c.merkle != nil {
-		if err := c.merkle.VerifyPath(leaf, cts); err != nil {
-			return Trace{}, err
+	return tr, nil
+}
+
+// fetchPath reads and MAC-verifies every non-cached bucket on the path,
+// filling plains (decrypted images) and, when non-nil, cts (the verified
+// ciphertexts, for Merkle). Cached top levels get nil entries.
+func (c *Client) fetchPath(nodes []NodeID, cts, plains [][]byte) error {
+	for level, node := range nodes {
+		if level < c.p.TopCacheLevels {
+			plains[level] = nil
+			if cts != nil {
+				cts[level] = nil
+			}
+			continue
+		}
+		plain, sealed, err := c.openWithRetry(node)
+		if err != nil {
+			return err
+		}
+		plains[level] = plain
+		if cts != nil {
+			cts[level] = sealed
 		}
 	}
-	return tr, nil
+	return nil
+}
+
+// openWithRetry reads node from storage and authenticates it, re-reading
+// up to MaxRetries times on a MAC failure. Each retry charges
+// RetryCostCycles; exhausting the budget escalates to ErrSecurityAlarm.
+// A nil return (no error) means the bucket was never written.
+func (c *Client) openWithRetry(node NodeID) (plain, sealed []byte, err error) {
+	for attempt := 0; ; attempt++ {
+		sealed = c.store.ReadBucket(node)
+		if sealed == nil {
+			return nil, nil, nil
+		}
+		plain, err = c.crypto.Open(node, c.versions[node], sealed)
+		if err == nil {
+			return plain, sealed, nil
+		}
+		if c.rec.MaxRetries == 0 {
+			return nil, nil, err
+		}
+		if attempt >= c.rec.MaxRetries {
+			c.recStats.Alarms++
+			return nil, nil, ErrSecurityAlarm{Node: node, Mechanism: MechMAC,
+				Attempts: attempt + 1}
+		}
+		c.recStats.Retries++
+		c.recStats.RecoveryCycles += c.rec.RetryCostCycles
+	}
 }
 
 // writePath evicts stash blocks back onto the path (leaf-first, the greedy

@@ -86,6 +86,15 @@ type SimConfig struct {
 	// synthesizing: "<Benchmark>.<core>.dtrc" per core, else a shared
 	// "<Benchmark>.dtrc" rotated per core.
 	TraceDir string
+
+	// LinkCorruptProb / LinkLossProb make every BOB serial link unreliable
+	// (SchemeDORAM only): each transfer attempt is independently corrupted
+	// (caught by the receiver's frame checksum) or lost (times out) with
+	// these probabilities, and recovered by sequence-numbered retransmission
+	// with exponential backoff. The recovery cost appears in the result's
+	// LinkFaults.
+	LinkCorruptProb float64
+	LinkLossProb    float64
 }
 
 // DefaultSimConfig returns the paper's 1S7NS co-run for the scheme.
@@ -124,6 +133,22 @@ type SimResult struct {
 	ORAMAccessNs float64
 	// TotalEnergyUJ is the DRAM energy consumed over the run (microjoules).
 	TotalEnergyUJ float64
+	// LinkFaults summarizes serial-link fault recovery across all BOB
+	// channels (all zero on reliable links or non-DORAM schemes).
+	LinkFaults LinkFaultSummary
+}
+
+// LinkFaultSummary aggregates the BOB links' unreliability counters.
+type LinkFaultSummary struct {
+	// Corrupted / Lost are transfer attempts rejected by the frame
+	// checksum or dropped in flight; Retransmits recovered them.
+	Corrupted   uint64
+	Lost        uint64
+	Retransmits uint64
+	// GiveUps counts sends that exhausted the retransmit budget.
+	GiveUps uint64
+	// RetryDelayNs is the total delivery delay retransmission added.
+	RetryDelayNs float64
 }
 
 // Simulate builds and runs one co-run simulation.
@@ -149,6 +174,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		ic.Seed = cfg.Seed
 	}
 	ic.TraceDir = cfg.TraceDir
+	ic.LinkCorruptProb = cfg.LinkCorruptProb
+	ic.LinkLossProb = cfg.LinkLossProb
 	sys, err := core.NewSystem(ic)
 	if err != nil {
 		return nil, err
@@ -172,6 +199,14 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	if res.SApp != nil {
 		out.ORAMAccesses = res.SApp.Accesses.Value()
 		out.ORAMAccessNs = clock.CPUToNanos(uint64(res.SApp.ReadPhase.Mean() + res.SApp.WritePhase.Mean()))
+	}
+	lf := res.TotalLinkFaults()
+	out.LinkFaults = LinkFaultSummary{
+		Corrupted:     lf.Corrupted,
+		Lost:          lf.Lost,
+		Retransmits:   lf.Retransmits,
+		GiveUps:       lf.GiveUps,
+		RetryDelayNs: clock.CPUToNanos(lf.RetryCycles),
 	}
 	return out, nil
 }
