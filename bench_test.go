@@ -149,6 +149,22 @@ func BenchmarkSimulateDORAM(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateDORAMMetrics is BenchmarkSimulateDORAM with the
+// observability subsystem enabled; comparing the two measures the
+// sampling overhead (the disabled-path cost is whatever gap remains
+// between BenchmarkSimulateDORAM before and after the instrumentation
+// landed — by design at most a nil check per instrumentation point).
+func BenchmarkSimulateDORAMMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSimConfig(SchemeDORAM, "libq")
+		cfg.TraceLen = 1000
+		cfg.Metrics = true
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRingORAMAccess measures one Ring ORAM access (single-slot
 // online reads plus amortized eviction) for comparison with
 // BenchmarkFunctionalORAMAccess.

@@ -9,6 +9,8 @@
 //	doramsim -scheme non-secure -bench black -ns 7 -channels 1,2,3
 //	doramsim -chaos -seed 7
 //	doramsim -scheme d-oram -bench face -link-corrupt 0.02 -link-loss 0.01
+//	doramsim -scheme d-oram -bench face -metrics-json metrics.json -metrics-csv timeline.csv
+//	doramsim -scheme d-oram -bench face -pprof cpu.out
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,6 +41,12 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run a seeded fault-injection campaign against the functional ORAM and print a detection/recovery report")
 		linkCorrupt = flag.Float64("link-corrupt", 0, "per-attempt BOB link frame corruption probability (d-oram)")
 		linkLoss    = flag.Float64("link-loss", 0, "per-attempt BOB link frame loss probability (d-oram)")
+
+		metricsOn    = flag.Bool("metrics", false, "enable the metric registry and timeline sampler")
+		metricsEpoch = flag.Uint64("metrics-epoch", 0, "timeline sampling period in CPU cycles (0 = default; implies -metrics)")
+		metricsJSON  = flag.String("metrics-json", "", "write the metric dump as JSON to this file (\"-\" = stdout; implies -metrics)")
+		metricsCSV   = flag.String("metrics-csv", "", "write the sampled timeline as CSV to this file (\"-\" = stdout; implies -metrics)")
+		pprofOut     = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -55,6 +64,8 @@ func main() {
 	cfg.TraceDir = *traceDir
 	cfg.LinkCorruptProb = *linkCorrupt
 	cfg.LinkLossProb = *linkLoss
+	cfg.Metrics = *metricsOn || *metricsJSON != "" || *metricsCSV != ""
+	cfg.MetricsEpochCycles = *metricsEpoch
 	if *channels != "" {
 		for _, s := range strings.Split(*channels, ",") {
 			ch, err := strconv.Atoi(strings.TrimSpace(s))
@@ -66,8 +77,30 @@ func main() {
 		}
 	}
 
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := doram.Simulate(cfg)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *pprofOut != "" {
+		pprof.StopCPUProfile()
+	}
+
+	if err := writeMetrics(res, *metricsJSON, *metricsCSV); err != nil {
 		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -100,6 +133,57 @@ func main() {
 		fmt.Printf("  link faults recovered:    %d corrupted + %d lost (%d retransmits, +%.0f ns, %d give-ups)\n",
 			lf.Corrupted, lf.Lost, lf.Retransmits, lf.RetryDelayNs, lf.GiveUps)
 	}
+}
+
+// writeMetrics exports the run's metric dump (JSON) and sampled timeline
+// (CSV) to the requested destinations; "-" means stdout.
+func writeMetrics(res *doram.SimResult, jsonPath, csvPath string) error {
+	if jsonPath != "" {
+		if res.Metrics == nil {
+			return fmt.Errorf("metrics-json: run produced no metric dump")
+		}
+		w, closeFn, err := openOut(jsonPath)
+		if err != nil {
+			return err
+		}
+		werr := res.Metrics.WriteJSON(w)
+		if err := closeFn(); werr == nil {
+			werr = err
+		}
+		if werr != nil {
+			return fmt.Errorf("metrics-json: %w", werr)
+		}
+	}
+	if csvPath != "" {
+		if res.Metrics == nil {
+			return fmt.Errorf("metrics-csv: run produced no metric dump")
+		}
+		w, closeFn, err := openOut(csvPath)
+		if err != nil {
+			return err
+		}
+		werr := res.Metrics.WriteCSV(w)
+		if err := closeFn(); werr == nil {
+			werr = err
+		}
+		if werr != nil {
+			return fmt.Errorf("metrics-csv: %w", werr)
+		}
+	}
+	return nil
+}
+
+// openOut opens path for writing; "-" selects stdout (whose close is a
+// no-op so repeated exporters can share it).
+func openOut(path string) (*os.File, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 // runChaos drives a deterministic fault campaign through the functional

@@ -28,10 +28,16 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		benches = flag.String("benches", "", "comma-separated benchmark subset")
 		asCSV   = flag.Bool("csv", false, "emit data tables as CSV instead of text")
+
+		metricsDir   = flag.String("metrics-dir", "", "write one metric dump JSON per run into this directory (enables metrics)")
+		metricsEpoch = flag.Uint64("metrics-epoch", 0, "timeline sampling period in CPU cycles (0 = default)")
 	)
 	flag.Parse()
 
-	opts := doram.ExperimentOptions{Quick: *quick, TraceLen: *trace, Seed: *seed}
+	opts := doram.ExperimentOptions{
+		Quick: *quick, TraceLen: *trace, Seed: *seed,
+		MetricsDir: *metricsDir, MetricsEpochCycles: *metricsEpoch,
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

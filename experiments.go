@@ -18,6 +18,13 @@ type ExperimentOptions struct {
 	Benchmarks []string
 	// Quick reduces the sweep for smoke runs and benchmarks.
 	Quick bool
+	// MetricsDir, when set, enables the observability subsystem on every
+	// run of the sweep and writes one metric dump JSON per run into the
+	// directory (created if missing).
+	MetricsDir string
+	// MetricsEpochCycles overrides the timeline sampling period; 0 uses
+	// DefaultMetricsEpochCycles. Only meaningful with MetricsDir.
+	MetricsEpochCycles uint64
 }
 
 func (o ExperimentOptions) internal() experiments.Options {
@@ -34,6 +41,8 @@ func (o ExperimentOptions) internal() experiments.Options {
 	if o.Benchmarks != nil {
 		io.Benchmarks = o.Benchmarks
 	}
+	io.MetricsDir = o.MetricsDir
+	io.MetricsEpochCycles = o.MetricsEpochCycles
 	return io
 }
 

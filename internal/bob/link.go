@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"doram/internal/clock"
+	"doram/internal/metrics"
 	"doram/internal/stats"
 )
 
@@ -228,3 +229,53 @@ func (l *Link) DownFreeAt() uint64 { return l.down.freeAt }
 
 // UpFreeAt returns when the up direction finishes its current transfer.
 func (l *Link) UpFreeAt() uint64 { return l.up.freeAt }
+
+// InFlight reports how many of the link's directions are serializing a
+// transfer at CPU cycle now (0..2).
+func (l *Link) InFlight(now uint64) int {
+	n := 0
+	if l.down.freeAt > now {
+		n++
+	}
+	if l.up.freeAt > now {
+		n++
+	}
+	return n
+}
+
+// AttachMetrics registers both directions' wire activity and
+// fault-recovery counters under prefix (e.g. "chan0.link."): export-time
+// reads of the existing LinkStats, per-epoch utilization gauges, and
+// timeline series for in-flight transfers and cumulative retransmits.
+// No-op on a nil registry.
+func (l *Link) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	dirs := []struct {
+		name string
+		d    *direction
+	}{{"down", &l.down}, {"up", &l.up}}
+	for _, dir := range dirs {
+		st := &dir.d.stats
+		p := prefix + dir.name + "."
+		r.CounterFunc(p+"packets", st.Packets.Value)
+		r.CounterFunc(p+"bytes", st.Bytes.Value)
+		r.CounterFunc(p+"corrupted", st.Corrupted.Value)
+		r.CounterFunc(p+"lost", st.Lost.Value)
+		r.CounterFunc(p+"retransmits", st.Retransmits.Value)
+		r.CounterFunc(p+"retry_cycles", st.RetryCycles.Value)
+		r.CounterFunc(p+"give_ups", st.GiveUps.Value)
+		r.Gauge(p+"util", metrics.BusyRate(st.Busy.Value))
+	}
+	r.Gauge(prefix+"inflight", func(now uint64) float64 {
+		return float64(l.InFlight(now))
+	})
+	r.Gauge(prefix+"retransmits", func(uint64) float64 {
+		return float64(l.down.stats.Retransmits.Value() + l.up.stats.Retransmits.Value())
+	})
+	r.Gauge(prefix+"faults", func(uint64) float64 {
+		return float64(l.down.stats.Corrupted.Value() + l.down.stats.Lost.Value() +
+			l.up.stats.Corrupted.Value() + l.up.stats.Lost.Value())
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"doram/internal/addrmap"
 	"doram/internal/clock"
 	"doram/internal/mc"
+	"doram/internal/metrics"
 	"doram/internal/stats"
 )
 
@@ -77,6 +78,22 @@ func (s *SimpleController) SubChannels() []*mc.Controller { return s.subs }
 
 // Stats returns controller statistics.
 func (s *SimpleController) Stats() *CtrlStats { return &s.stats }
+
+// QueueLen returns the on-board input buffer's current occupancy.
+func (s *SimpleController) QueueLen() int { return len(s.inQ) }
+
+// AttachMetrics registers the on-board buffer's behaviour under prefix
+// (e.g. "chan0.bob."). The link and sub-channel controllers register
+// separately under their own prefixes. No-op on a nil registry.
+func (s *SimpleController) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"submitted", s.stats.Submitted.Value)
+	r.CounterFunc(prefix+"rejected", s.stats.Rejected.Value)
+	r.CounterFunc(prefix+"forwarded", s.stats.Forwarded.Value)
+	r.Gauge(prefix+"in_q", metrics.Level(func() int { return len(s.inQ) }))
+}
 
 // Submit sends a request packet from the CPU's main controller at CPU
 // cycle now. It returns false when the on-board buffer is full.

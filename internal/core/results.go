@@ -2,6 +2,7 @@ package core
 
 import (
 	"doram/internal/delegator"
+	"doram/internal/metrics"
 	"doram/internal/stats"
 )
 
@@ -58,6 +59,12 @@ type Results struct {
 	// LinkFaults holds each BOB link's fault-recovery counters (both
 	// directions summed; DORAM scheme only, all zero on reliable links).
 	LinkFaults [NumChannels]LinkFaultStats
+
+	// Timeline is the epoch-sampled observability record and Metrics the
+	// final registry dump; both are nil unless Config.MetricsEpochCycles
+	// was set. Timeline and Metrics.Timeline are the same object.
+	Timeline *metrics.Timeline
+	Metrics  *metrics.Dump
 }
 
 // LinkFaultStats summarizes one serial link's unreliability and the cost

@@ -11,6 +11,7 @@ import (
 	"doram/internal/dram"
 	"doram/internal/faults"
 	"doram/internal/mc"
+	"doram/internal/metrics"
 	"doram/internal/oram"
 	"doram/internal/oram/layout"
 	"doram/internal/secmem"
@@ -45,6 +46,12 @@ type System struct {
 	// Warmup counters for latency-stat cold-start cuts.
 	readWarm  uint64
 	writeWarm uint64
+
+	// Observability (nil/0 unless Config.MetricsEpochCycles is set). The
+	// run loop gates sampling on metricsEpoch != 0 so the disabled path
+	// costs one predictable branch per cycle.
+	metrics      *metrics.Registry
+	metricsEpoch uint64
 }
 
 // appBase separates per-application address spaces so different apps use
@@ -169,7 +176,99 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.sCores = append(s.sCores, cpu.New(cfg.NumNS+i, coreCfg, gen, s.sPort(i)))
 	}
+	if cfg.MetricsEpochCycles > 0 {
+		s.attachMetrics(cfg.MetricsEpochCycles)
+	}
 	return s, nil
+}
+
+// attachMetrics builds the run's metric registry, wires every simulated
+// component into it under a stable naming scheme ("chan<N>." per channel,
+// "sapp<N>." per S-App copy) and arms timeline sampling.
+func (s *System) attachMetrics(epoch uint64) {
+	r := metrics.New()
+	s.metrics, s.metricsEpoch = r, epoch
+	if s.cfg.Scheme == DORAM {
+		for c, b := range s.bobs {
+			p := fmt.Sprintf("chan%d.", c)
+			b.Link().AttachMetrics(r, p+"link.")
+			b.AttachMetrics(r, p+"bob.")
+			for i, sub := range b.SubChannels() {
+				sp := fmt.Sprintf("%ssub%d.", p, i)
+				sub.AttachMetrics(r, sp+"mc.")
+				sub.Channel().AttachMetrics(r, sp+"dram.")
+			}
+			s.attachChannelAggregates(r, c, b.SubChannels())
+		}
+	} else {
+		for c, m := range s.directMCs {
+			p := fmt.Sprintf("chan%d.", c)
+			m.AttachMetrics(r, p+"mc.")
+			m.Channel().AttachMetrics(r, p+"dram.")
+			s.attachChannelAggregates(r, c, []*mc.Controller{m})
+		}
+	}
+	for i, sd := range s.sds {
+		sd.AttachMetrics(r, fmt.Sprintf("sapp%d.", i))
+	}
+	for i, oc := range s.onchips {
+		oc.AttachMetrics(r, fmt.Sprintf("sapp%d.", i))
+	}
+	for i, e := range s.engines {
+		e.AttachMetrics(r, fmt.Sprintf("sapp%d.engine.", i))
+	}
+	r.StartTimeline(epoch)
+}
+
+// attachChannelAggregates registers channel-level rollups over the
+// channel's sub-channel controllers: the per-epoch data-bus utilization
+// whose integral reproduces Results.ChannelDataBusBusy, its cumulative
+// denominator, and summed queue/drain state.
+func (s *System) attachChannelAggregates(r *metrics.Registry, c int, subs []*mc.Controller) {
+	p := fmt.Sprintf("chan%d.", c)
+	busyTotal := func() (uint64, uint64) {
+		var busy, total uint64
+		for _, sub := range subs {
+			db := &sub.Channel().Stats().DataBus
+			busy += db.Busy()
+			total += db.Total()
+		}
+		return busy, total
+	}
+	r.Gauge(p+"bus_util", metrics.Ratio(busyTotal))
+	r.Gauge(p+"mem_cycles", func(uint64) float64 {
+		_, total := busyTotal()
+		return float64(total)
+	})
+	r.CounterFunc(p+"bus_busy_cycles", func() uint64 {
+		busy, _ := busyTotal()
+		return busy
+	})
+	r.Gauge(p+"read_q", metrics.Level(func() int {
+		n := 0
+		for _, sub := range subs {
+			reads, _ := sub.QueueLen()
+			n += reads
+		}
+		return n
+	}))
+	r.Gauge(p+"write_q", metrics.Level(func() int {
+		n := 0
+		for _, sub := range subs {
+			_, writes := sub.QueueLen()
+			n += writes
+		}
+		return n
+	}))
+	r.Gauge(p+"draining", metrics.Level(func() int {
+		n := 0
+		for _, sub := range subs {
+			if sub.Draining() {
+				n++
+			}
+		}
+		return n
+	}))
 }
 
 // buildSApp wires one S-App copy's executor and engine. Each copy owns a
@@ -368,6 +467,9 @@ func (s *System) Run() (*Results, error) {
 				m.Tick(memNow)
 			}
 		}
+		if s.metricsEpoch != 0 && cyc%s.metricsEpoch == 0 && cyc > 0 {
+			s.metrics.Sample(cyc)
+		}
 		done := true
 		for _, c := range measured {
 			if !c.Done() {
@@ -390,6 +492,14 @@ func (s *System) Run() (*Results, error) {
 // collect finalizes the Results after the run.
 func (s *System) collect(cyc uint64) {
 	s.res.Cycles = cyc
+	if s.metrics != nil {
+		// Close the final (usually partial) epoch so the timeline's
+		// utilization integral matches the scalar aggregates exactly, then
+		// snapshot the registry.
+		s.metrics.Sample(cyc)
+		s.res.Timeline = s.metrics.Timeline()
+		s.res.Metrics = s.metrics.Dump()
+	}
 	for _, c := range s.nsCores {
 		s.res.NSFinish = append(s.res.NSFinish, c.FinishedAt())
 		s.res.NSInstrs = append(s.res.NSInstrs, c.Retired())

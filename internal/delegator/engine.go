@@ -1,6 +1,7 @@
 package delegator
 
 import (
+	"doram/internal/metrics"
 	"doram/internal/stats"
 )
 
@@ -110,6 +111,19 @@ func (e *Engine) adaptEpoch() {
 
 // QueueLen returns the number of core requests awaiting ORAM service.
 func (e *Engine) QueueLen() int { return len(e.pending) }
+
+// AttachMetrics registers the secure engine's request stream under prefix
+// (e.g. "sapp0.engine."). No-op on a nil registry.
+func (e *Engine) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"real_sent", e.stats.RealSent.Value)
+	r.CounterFunc(prefix+"dummy_sent", e.stats.DummySent.Value)
+	r.CounterFunc(prefix+"queue_full", e.stats.QueueFull.Value)
+	r.Gauge(prefix+"queue", metrics.Level(e.QueueLen))
+	r.Gauge(prefix+"pace", func(uint64) float64 { return float64(e.pace) })
+}
 
 // Access implements the core's memory port (cpu.Port compatible): S-App
 // misses enter the secure engine's queue. Writes are posted; reads

@@ -4,6 +4,7 @@ import (
 	"doram/internal/addrmap"
 	"doram/internal/clock"
 	"doram/internal/mc"
+	"doram/internal/metrics"
 	"doram/internal/oram"
 	"doram/internal/oram/layout"
 )
@@ -40,6 +41,11 @@ type OnChip struct {
 
 	sched sched
 	stats ExecStats
+
+	// held tracks blocks read off their path and not yet written back —
+	// the baseline's on-chip stash-plus-path-buffer occupancy.
+	held    int
+	heldMax int
 }
 
 // NewOnChip builds the baseline executor over the direct-attached channel
@@ -60,6 +66,35 @@ func NewOnChip(cfg SDConfig, sampler *oram.Sampler, lay *layout.Layout,
 
 // Stats returns execution statistics.
 func (o *OnChip) Stats() *ExecStats { return &o.stats }
+
+// BlocksHeld returns the executor's current buffer occupancy in blocks.
+func (o *OnChip) BlocksHeld() int { return o.held }
+
+// MaxBlocksHeld returns the high-water buffer occupancy observed.
+func (o *OnChip) MaxBlocksHeld() int { return o.heldMax }
+
+// HeldCapacity bounds BlocksHeld: the baseline runs one access at a time,
+// so at most one full path is resident.
+func (o *OnChip) HeldCapacity() int {
+	p := o.lay.Params()
+	return (p.Levels + 1) * p.Z
+}
+
+// AttachMetrics registers the baseline executor's state under prefix
+// (e.g. "sapp0."), mirroring SD.AttachMetrics. No-op on a nil registry.
+func (o *OnChip) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"accesses", o.stats.Accesses.Value)
+	r.CounterFunc(prefix+"real_accesses", o.stats.RealAccesses.Value)
+	r.CounterFunc(prefix+"dummy_accesses", o.stats.DummyAccesses.Value)
+	r.CounterFunc(prefix+"remote_blocks", o.stats.RemoteBlocks.Value)
+	r.CounterFunc(prefix+"stash_max", func() uint64 { return uint64(o.heldMax) })
+	r.CounterFunc(prefix+"stash_capacity", func() uint64 { return uint64(o.HeldCapacity()) })
+	r.Gauge(prefix+"stash_blocks", metrics.Level(o.BlocksHeld))
+	o.sampler.AttachMetrics(r, prefix+"pos.")
+}
 
 // Busy reports whether an access is in flight.
 func (o *OnChip) Busy() bool { return o.state != sdIdle || !o.sched.Empty() }
@@ -120,6 +155,10 @@ func (o *OnChip) issue(node oram.NodeID, slot int, op mc.OpType, now uint64, don
 }
 
 func (o *OnChip) readDone(now uint64) {
+	o.held++
+	if o.held > o.heldMax {
+		o.heldMax = o.held
+	}
 	o.readsLeft--
 	if o.readsLeft > 0 {
 		return
@@ -140,6 +179,7 @@ func (o *OnChip) readDone(now uint64) {
 }
 
 func (o *OnChip) writeDone(now uint64) {
+	o.held--
 	o.writesLeft--
 	if o.writesLeft > 0 {
 		return

@@ -7,6 +7,7 @@ import (
 	"doram/internal/bob"
 	"doram/internal/clock"
 	"doram/internal/mc"
+	"doram/internal/metrics"
 	"doram/internal/oram"
 	"doram/internal/oram/layout"
 )
@@ -77,6 +78,12 @@ type SD struct {
 
 	sched sched
 	stats ExecStats
+
+	// held tracks the blocks currently resident in the delegator: read off
+	// their path and not yet written back — the SD's stash-plus-path-buffer
+	// occupancy, D-ORAM's analogue of the on-chip stash depth.
+	held    int
+	heldMax int
 }
 
 // SetOverlapPhases toggles read/write phase overlap across consecutive
@@ -111,6 +118,37 @@ func NewSD(cfg SDConfig, sampler *oram.Sampler, lay *layout.Layout,
 
 // Stats returns execution statistics.
 func (sd *SD) Stats() *ExecStats { return &sd.stats }
+
+// BlocksHeld returns the delegator's current buffer occupancy in blocks:
+// path blocks read into the SD and not yet drained back to DRAM.
+func (sd *SD) BlocksHeld() int { return sd.held }
+
+// MaxBlocksHeld returns the high-water buffer occupancy observed.
+func (sd *SD) MaxBlocksHeld() int { return sd.heldMax }
+
+// HeldCapacity bounds BlocksHeld: the pipeline holds at most three
+// accesses' paths (one reading, one draining, one parked between them).
+func (sd *SD) HeldCapacity() int {
+	p := sd.lay.Params()
+	return 3 * (p.Levels + 1) * p.Z
+}
+
+// AttachMetrics registers the delegator's execution state under prefix
+// (e.g. "sapp0."): access counters at dump time and the buffer-occupancy
+// (stash) series for the timeline. No-op on a nil registry.
+func (sd *SD) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"accesses", sd.stats.Accesses.Value)
+	r.CounterFunc(prefix+"real_accesses", sd.stats.RealAccesses.Value)
+	r.CounterFunc(prefix+"dummy_accesses", sd.stats.DummyAccesses.Value)
+	r.CounterFunc(prefix+"remote_blocks", sd.stats.RemoteBlocks.Value)
+	r.CounterFunc(prefix+"stash_max", func() uint64 { return uint64(sd.heldMax) })
+	r.CounterFunc(prefix+"stash_capacity", func() uint64 { return uint64(sd.HeldCapacity()) })
+	r.Gauge(prefix+"stash_blocks", metrics.Level(sd.BlocksHeld))
+	sd.sampler.AttachMetrics(r, prefix+"pos.")
+}
 
 // Busy reports whether an access is in flight.
 func (sd *SD) Busy() bool {
@@ -221,6 +259,10 @@ func (sd *SD) remoteRead(ctx *sdAccess, pl layout.Placement, now uint64) {
 // readDone accounts one finished block read; the last one sends the
 // response packet and hands the access to the write-back stage.
 func (sd *SD) readDone(ctx *sdAccess, now uint64) {
+	sd.held++
+	if sd.held > sd.heldMax {
+		sd.heldMax = sd.held
+	}
 	ctx.readsLeft--
 	if ctx.readsLeft > 0 {
 		return
@@ -282,6 +324,7 @@ func (sd *SD) remoteWrite(ctx *sdAccess, pl layout.Placement, now uint64) {
 // writeDone accounts one finished block write; the last one closes the
 // access, promotes a parked write-back and starts any buffered request.
 func (sd *SD) writeDone(ctx *sdAccess, now uint64) {
+	sd.held--
 	ctx.writesLeft--
 	if ctx.writesLeft > 0 {
 		return

@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"doram/internal/metrics"
 	"doram/internal/stats"
 )
 
@@ -86,6 +87,24 @@ func (ch *Channel) Rank(i int) *Rank { return ch.ranks[i] }
 
 // Stats returns the channel's activity counters.
 func (ch *Channel) Stats() *ChannelStats { return &ch.stats }
+
+// AttachMetrics registers the channel's device activity under prefix
+// (e.g. "chan0.sub1.dram."). The command counters are export-time reads of
+// the existing ChannelStats; bus_util is an epoch-interval data-bus
+// utilization gauge. No-op on a nil registry.
+func (ch *Channel) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"activates", ch.stats.Activates.Value)
+	r.CounterFunc(prefix+"precharges", ch.stats.Precharges.Value)
+	r.CounterFunc(prefix+"reads", ch.stats.Reads.Value)
+	r.CounterFunc(prefix+"writes", ch.stats.Writes.Value)
+	r.CounterFunc(prefix+"refreshes", ch.stats.Refreshes.Value)
+	r.Gauge(prefix+"bus_util", metrics.Ratio(func() (uint64, uint64) {
+		return ch.stats.DataBus.Busy(), ch.stats.DataBus.Total()
+	}))
+}
 
 // OpenRow returns the open row of (rank, bank), or RowNone.
 func (ch *Channel) OpenRow(rank, bank int) int64 {

@@ -1,6 +1,9 @@
 package experiments
 
-import "doram/internal/core"
+import (
+	"doram/internal/core"
+	"doram/internal/stats"
+)
 
 // Fig10Row holds one benchmark's NS execution time under tree expansion,
 // normalized to plain D-ORAM (k=0).
@@ -47,7 +50,7 @@ func Figure10(o Options) (*Fig10Summary, *Table, error) {
 		for _, r := range sum.Rows {
 			vals = append(vals, r.K[k])
 		}
-		sum.OverheadGMean[k] = geoMean(vals) - 1
+		sum.OverheadGMean[k] = stats.GeoMean(vals) - 1
 	}
 
 	t := &Table{

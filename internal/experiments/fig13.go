@@ -1,6 +1,9 @@
 package experiments
 
-import "doram/internal/core"
+import (
+	"doram/internal/core"
+	"doram/internal/stats"
+)
 
 // Fig13Row holds one benchmark's NS memory access latencies normalized to
 // the Path ORAM baseline, for the representative D-ORAM configurations of
@@ -54,8 +57,8 @@ func Figure13(o Options) (*Fig13Summary, *Table, error) {
 		reads = append(reads, row.ReadDORAMk1, row.ReadDORAMc4)
 		writes = append(writes, row.WriteDORAMk1, row.WriteDORAMc4)
 	}
-	sum.ReadGMean = geoMean(reads)
-	sum.WriteGMean = geoMean(writes)
+	sum.ReadGMean = stats.GeoMean(reads)
+	sum.WriteGMean = stats.GeoMean(writes)
 
 	t := &Table{
 		Title:  "Figure 13: NS memory access latency normalized to the Path ORAM baseline",

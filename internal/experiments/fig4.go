@@ -1,6 +1,9 @@
 package experiments
 
-import "doram/internal/core"
+import (
+	"doram/internal/core"
+	"doram/internal/stats"
+)
 
 // Fig4Row holds one benchmark's co-run slowdowns (execution time over the
 // 1NS solo run) for Figure 4's five scenarios.
@@ -83,7 +86,7 @@ func (s *Fig4Summary) summarize() {
 				worst = v
 			}
 		}
-		return best, worst, geoMean(vals)
+		return best, worst, stats.GeoMean(vals)
 	}
 	s.Best.PathORAM, s.Worst.PathORAM, s.GeoMean.PathORAM = pick(func(r Fig4Row) float64 { return r.PathORAM })
 	s.Best.SecMem, s.Worst.SecMem, s.GeoMean.SecMem = pick(func(r Fig4Row) float64 { return r.SecMem })

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"doram/internal/core"
+	"doram/internal/stats"
 )
 
 // Fig9Row holds one benchmark's NS execution times normalized to the Path
@@ -76,7 +77,7 @@ func Figure9(o Options) (*Fig9Summary, *Table, error) {
 		dkc = append(dkc, r.DORAMk1c4)
 	}
 	sum.GeoMean = Fig9Row{Bench: "gmean",
-		DORAM: geoMean(d), DORAMX: geoMean(dx), DORAMk1: geoMean(dk), DORAMk1c4: geoMean(dkc)}
+		DORAM: stats.GeoMean(d), DORAMX: stats.GeoMean(dx), DORAMk1: stats.GeoMean(dk), DORAMk1c4: stats.GeoMean(dkc)}
 
 	t := &Table{
 		Title:  "Figure 9: NS execution time normalized to the Path ORAM baseline",

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
-	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -20,6 +22,14 @@ type Options struct {
 	Benchmarks []string
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
+
+	// MetricsDir, when set, enables the observability subsystem on every
+	// run of the sweep and writes each run's metric dump to
+	// "<MetricsDir>/run<NNN>_<scheme>_<bench>.json".
+	MetricsDir string
+	// MetricsEpochCycles overrides the timeline sampling period; 0 uses
+	// core.DefaultMetricsEpochCycles.
+	MetricsEpochCycles uint64
 }
 
 // DefaultOptions returns the evaluation defaults: every Table III
@@ -53,10 +63,18 @@ func (o Options) apply(cfg core.Config) core.Config {
 	cfg.TraceLen = o.TraceLen
 	cfg.Seed = o.Seed
 	cfg.LatencyWarmup = o.TraceLen / 20
+	if o.MetricsDir != "" {
+		cfg.MetricsEpochCycles = o.MetricsEpochCycles
+		if cfg.MetricsEpochCycles == 0 {
+			cfg.MetricsEpochCycles = core.DefaultMetricsEpochCycles
+		}
+	}
 	return cfg
 }
 
 // runAll executes the configs concurrently and returns results in order.
+// Every failed run of the sweep is reported, not just the first, so a
+// broken 15-benchmark sweep surfaces all broken configs at once.
 func runAll(o Options, cfgs []core.Config) ([]*core.Results, error) {
 	results := make([]*core.Results, len(cfgs))
 	errs := make([]error, len(cfgs))
@@ -77,13 +95,49 @@ func runAll(o Options, cfgs []core.Config) ([]*core.Results, error) {
 		}(i, cfg)
 	}
 	wg.Wait()
+	var failures []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: run %d (%s/%s): %w",
-				i, cfgs[i].Scheme, cfgs[i].Benchmark, err)
+			failures = append(failures, fmt.Errorf("run %d (%s/%s): %w",
+				i, cfgs[i].Scheme, cfgs[i].Benchmark, err))
+		}
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("experiments: %d of %d runs failed: %w",
+			len(failures), len(cfgs), errors.Join(failures...))
+	}
+	if o.MetricsDir != "" {
+		if err := dumpRunMetrics(o.MetricsDir, cfgs, results); err != nil {
+			return nil, err
 		}
 	}
 	return results, nil
+}
+
+// dumpRunMetrics writes each run's metric dump as one JSON file under dir.
+func dumpRunMetrics(dir string, cfgs []core.Config, results []*core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: metrics dir: %w", err)
+	}
+	for i, res := range results {
+		if res == nil || res.Metrics == nil {
+			continue
+		}
+		name := fmt.Sprintf("run%03d_%s_%s.json", i, cfgs[i].Scheme, cfgs[i].Benchmark)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("experiments: metrics dump: %w", err)
+		}
+		werr := res.Metrics.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("experiments: metrics dump %s: %w", name, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("experiments: metrics dump %s: %w", name, cerr)
+		}
+	}
+	return nil
 }
 
 // soloConfig is the 1NS reference run (no co-runners, all channels).
@@ -114,23 +168,4 @@ func doramConfig(o Options, bench string, k, c int) core.Config {
 // baselineConfig is the 1S7NS Path ORAM baseline run.
 func baselineConfig(o Options, bench string) core.Config {
 	return o.apply(core.DefaultConfig(core.PathORAMBaseline, bench))
-}
-
-// geoMean returns the geometric mean of positive values.
-func geoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	prod := 1.0
-	n := 0
-	for _, x := range xs {
-		if x > 0 {
-			prod *= x
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return math.Pow(prod, 1/float64(n))
 }

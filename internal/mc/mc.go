@@ -14,6 +14,7 @@ import (
 
 	"doram/internal/addrmap"
 	"doram/internal/dram"
+	"doram/internal/metrics"
 	"doram/internal/stats"
 )
 
@@ -153,6 +154,11 @@ type Controller struct {
 	inflight []pendingDone
 
 	stats QueueStats
+
+	// queueWait is an optional metrics histogram of column-issue queueing
+	// delay (memory cycles). nil (the default) costs one nil check per
+	// issued column.
+	queueWait *metrics.Histogram
 }
 
 // New builds a controller over ch.
@@ -169,6 +175,35 @@ func (c *Controller) Stats() *QueueStats { return &c.stats }
 // QueueLen returns current read and write queue occupancies.
 func (c *Controller) QueueLen() (reads, writes int) {
 	return len(c.readQ), len(c.writeQ)
+}
+
+// Draining reports whether the controller is in write-drain mode.
+func (c *Controller) Draining() bool { return c.draining }
+
+// AttachMetrics registers the controller's queue behaviour under prefix
+// (e.g. "chan0.sub1.mc."): export-time reads of the existing QueueStats,
+// occupancy and drain-state gauges for the timeline, and a queue-wait
+// histogram observed on every issued column. No-op on a nil registry.
+func (c *Controller) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"enqueued", c.stats.Enqueued.Value)
+	r.CounterFunc(prefix+"reads_done", c.stats.ReadsDone.Value)
+	r.CounterFunc(prefix+"writes_done", c.stats.WritesDone.Value)
+	r.CounterFunc(prefix+"read_rejects", c.stats.ReadRejects.Value)
+	r.CounterFunc(prefix+"write_rejects", c.stats.WriteRejects.Value)
+	r.CounterFunc(prefix+"row_hits", c.stats.RowHits.Value)
+	r.CounterFunc(prefix+"row_misses", c.stats.RowMisses.Value)
+	r.Gauge(prefix+"read_q", metrics.Level(func() int { return len(c.readQ) }))
+	r.Gauge(prefix+"write_q", metrics.Level(func() int { return len(c.writeQ) }))
+	r.Gauge(prefix+"draining", func(uint64) float64 {
+		if c.draining {
+			return 1
+		}
+		return 0
+	})
+	c.queueWait = r.Histogram(prefix+"queue_wait", []uint64{4, 8, 16, 32, 64, 128, 256, 512})
 }
 
 // Idle reports whether the controller holds no queued or in-flight work.
@@ -501,6 +536,7 @@ func (c *Controller) tryIssueQueue(q []*Request, col dram.Command, now uint64, b
 func (c *Controller) issueColumn(r *Request, col dram.Command, now uint64) {
 	done := c.ch.Issue(col, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
 	c.stats.RowHits.Inc()
+	c.queueWait.Observe(now - r.Arrival)
 	c.chargeIssue(r)
 	c.removeFromQueue(r)
 	c.inflight = append(c.inflight, pendingDone{req: r, done: done})

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// HistogramDump is one histogram's exportable form: per-bucket counts with
+// their upper bounds (the last count is the overflow bucket) plus the
+// scalar aggregate.
+type HistogramDump struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Mean   float64  `json:"mean"`
+	Min    uint64   `json:"min"`
+	Max    uint64   `json:"max"`
+}
+
+// Dump is a registry's complete exportable state: final counter values,
+// histograms, and the sampled timeline. encoding/json sorts the maps, so
+// the same run always serializes identically.
+type Dump struct {
+	Counters   map[string]uint64        `json:"counters,omitempty"`
+	Histograms map[string]HistogramDump `json:"histograms,omitempty"`
+	Timeline   *Timeline                `json:"timeline,omitempty"`
+}
+
+// Dump snapshots the registry (nil on a nil registry).
+func (r *Registry) Dump() *Dump {
+	if r == nil {
+		return nil
+	}
+	d := &Dump{Counters: r.CounterValues(), Timeline: r.timeline}
+	if len(r.hists) > 0 {
+		d.Histograms = make(map[string]HistogramDump, len(r.hists))
+		for _, h := range r.hists {
+			sh := h.h
+			hd := HistogramDump{Bounds: sh.Bounds()}
+			for i := 0; i < sh.NumBuckets(); i++ {
+				hd.Counts = append(hd.Counts, sh.Bucket(i))
+			}
+			lat := sh.Latency()
+			hd.Count, hd.Mean, hd.Min, hd.Max = lat.Count(), lat.Mean(), lat.Min(), lat.Max()
+			d.Histograms[h.name] = hd
+		}
+	}
+	return d
+}
+
+// WriteJSON serializes the dump as indented JSON.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteCSV serializes the timeline as CSV — a "cycle" column followed by
+// one column per series — for plotting pipelines. Counters and histograms
+// are omitted (use JSON for the full dump); a dump without a timeline
+// yields only the header row of a lone "cycle" column.
+func (d *Dump) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"cycle"}
+	var epochs []Epoch
+	if d.Timeline != nil {
+		header = append(header, d.Timeline.Series...)
+		epochs = d.Timeline.Epochs
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, e := range epochs {
+		if len(e.Values) != len(header)-1 {
+			return fmt.Errorf("metrics: epoch at cycle %d has %d values for %d series",
+				e.Cycle, len(e.Values), len(header)-1)
+		}
+		row[0] = strconv.FormatUint(e.Cycle, 10)
+		for i, v := range e.Values {
+			row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -3,6 +3,7 @@ package oram
 import (
 	"fmt"
 
+	"doram/internal/metrics"
 	"doram/internal/xrand"
 )
 
@@ -115,6 +116,20 @@ func (c *Client) StashMax() int { return c.stash.MaxSeen() }
 
 // Accesses returns the number of accesses performed (including dummies).
 func (c *Client) Accesses() uint64 { return c.accesses }
+
+// AttachMetrics registers the functional client's protocol state under
+// prefix (e.g. "oram."): stash occupancy for the timeline plus its
+// high-water mark, configured bound and access count at dump time. No-op
+// on a nil registry.
+func (c *Client) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.Gauge(prefix+"stash_blocks", metrics.Level(c.StashLen))
+	r.CounterFunc(prefix+"stash_max", func() uint64 { return uint64(c.StashMax()) })
+	r.CounterFunc(prefix+"stash_capacity", func() uint64 { return uint64(c.stash.Capacity()) })
+	r.CounterFunc(prefix+"accesses", func() uint64 { return c.accesses })
+}
 
 // PositionOf exposes the current leaf of addr for invariant tests.
 func (c *Client) PositionOf(addr uint64) uint64 { return c.pos.Get(addr) }

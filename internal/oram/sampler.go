@@ -1,6 +1,9 @@
 package oram
 
-import "doram/internal/xrand"
+import (
+	"doram/internal/metrics"
+	"doram/internal/xrand"
+)
 
 // Sampler produces the memory-access traces of a Path ORAM instance
 // without storing any data. It maintains a real (sparse) position map and
@@ -66,6 +69,16 @@ func (s *Sampler) SetForkPath(on bool) {
 
 // SkippedNodes returns the node accesses Fork Path eliminated so far.
 func (s *Sampler) SkippedNodes() uint64 { return s.skipped }
+
+// AttachMetrics registers the sampler's position-map state under prefix
+// (e.g. "sapp0.pos."). No-op on a nil registry.
+func (s *Sampler) AttachMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"mapped_blocks", func() uint64 { return uint64(s.pos.Len()) })
+	r.CounterFunc(prefix+"forkpath_skipped", func() uint64 { return s.skipped })
+}
 
 func (s *Sampler) trace(leaf uint64) Trace {
 	tr := Trace{Leaf: leaf}

@@ -140,11 +140,27 @@ func (h *Histogram) NumBuckets() int { return len(h.counts) }
 // Latency returns the scalar aggregate over all observed samples.
 func (h *Histogram) Latency() Latency { return h.lat }
 
-// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
-// using bucket boundaries. The overflow bucket reports the observed max.
+// Bounds returns a copy of the bucket upper bounds (overflow excluded).
+func (h *Histogram) Bounds() []uint64 {
+	out := make([]uint64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Percentile returns an upper bound for the p-th percentile using bucket
+// boundaries. The overflow bucket reports the observed max. Out-of-contract
+// inputs are clamped rather than rejected: p <= 0 returns the observed min
+// (the tightest lower bound any percentile can have) and p > 100 behaves as
+// p = 100. With no samples observed it returns 0. p must not be NaN.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.lat.count == 0 {
 		return 0
+	}
+	if p <= 0 {
+		return h.lat.min
+	}
+	if p > 100 {
+		p = 100
 	}
 	target := uint64(math.Ceil(p / 100 * float64(h.lat.count)))
 	if target == 0 {
@@ -185,6 +201,9 @@ func (u *Utilization) Value() float64 {
 
 // Busy returns the accumulated busy cycles.
 func (u *Utilization) Busy() uint64 { return u.busy }
+
+// Total returns the accumulated elapsed cycles.
+func (u *Utilization) Total() uint64 { return u.total }
 
 // GeoMean returns the geometric mean of xs, ignoring non-positive entries.
 // It returns 0 when no positive entries exist.

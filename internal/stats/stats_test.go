@@ -83,6 +83,55 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileTable(t *testing.T) {
+	multi := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 99, 5000} {
+		multi.Observe(v)
+	}
+	single := NewHistogram([]uint64{10, 100})
+	single.Observe(42)
+	overflow := NewHistogram([]uint64{10})
+	for _, v := range []uint64{500, 900} {
+		overflow.Observe(v)
+	}
+	empty := NewHistogram([]uint64{10})
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want uint64
+	}{
+		{"p0 clamps to observed min", multi, 0, 5},
+		{"negative p clamps to observed min", multi, -7, 5},
+		{"p50 mid-bucket bound", multi, 50, 100},
+		{"p100 reports observed max", multi, 100, 5000},
+		{"p>100 behaves as p100", multi, 250, 5000},
+		{"tiny p still counts one sample", multi, 1e-9, 10},
+		{"single sample p0", single, 0, 42},
+		{"single sample p50", single, 50, 100},
+		{"single sample p100 bounds above", single, 100, 100},
+		{"overflow-only p50", overflow, 50, 900},
+		{"overflow-only p0", overflow, 0, 500},
+		{"empty histogram", empty, 50, 0},
+		{"empty histogram p0", empty, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramBoundsCopy(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	b := h.Bounds()
+	b[0] = 99
+	if h.Bounds()[0] != 10 {
+		t.Fatal("Bounds returned internal slice")
+	}
+}
+
 func TestHistogramPanicsOnBadBounds(t *testing.T) {
 	for i, bounds := range [][]uint64{{}, {5, 5}, {9, 3}} {
 		func() {

@@ -5,6 +5,7 @@ import (
 
 	"doram/internal/clock"
 	"doram/internal/core"
+	"doram/internal/metrics"
 	"doram/internal/trace"
 )
 
@@ -95,7 +96,27 @@ type SimConfig struct {
 	// LinkFaults.
 	LinkCorruptProb float64
 	LinkLossProb    float64
+
+	// Metrics enables the observability subsystem: a metric registry over
+	// every simulated component and a cycle-sampled timeline of bus
+	// utilization, queue depths, stash occupancy and link fault counters,
+	// returned in SimResult.Metrics / SimResult.Timeline. Off by default;
+	// disabled runs pay at most a nil check per instrumentation point.
+	Metrics bool
+	// MetricsEpochCycles is the timeline sampling period in CPU cycles;
+	// 0 uses DefaultMetricsEpochCycles. Setting it implies Metrics.
+	MetricsEpochCycles uint64
 }
+
+// DefaultMetricsEpochCycles is the default timeline sampling period.
+const DefaultMetricsEpochCycles = core.DefaultMetricsEpochCycles
+
+// MetricsDump is a run's final metric registry snapshot: counters,
+// histograms and the sampled timeline.
+type MetricsDump = metrics.Dump
+
+// MetricsTimeline is the epoch-sampled series record of a run.
+type MetricsTimeline = metrics.Timeline
 
 // DefaultSimConfig returns the paper's 1S7NS co-run for the scheme.
 func DefaultSimConfig(scheme Scheme, benchmark string) SimConfig {
@@ -136,6 +157,14 @@ type SimResult struct {
 	// LinkFaults summarizes serial-link fault recovery across all BOB
 	// channels (all zero on reliable links or non-DORAM schemes).
 	LinkFaults LinkFaultSummary
+	// ChannelDataBusBusy is each channel's aggregate data-bus busy memory
+	// cycles (summed over sub-channels).
+	ChannelDataBusBusy []uint64
+	// Metrics is the final metric dump and Timeline its sampled series
+	// record; both are nil unless SimConfig.Metrics was set (Timeline is
+	// the same object as Metrics.Timeline).
+	Metrics  *MetricsDump     `json:",omitempty"`
+	Timeline *MetricsTimeline `json:"-"`
 }
 
 // LinkFaultSummary aggregates the BOB links' unreliability counters.
@@ -176,6 +205,12 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	ic.TraceDir = cfg.TraceDir
 	ic.LinkCorruptProb = cfg.LinkCorruptProb
 	ic.LinkLossProb = cfg.LinkLossProb
+	if cfg.Metrics || cfg.MetricsEpochCycles > 0 {
+		ic.MetricsEpochCycles = cfg.MetricsEpochCycles
+		if ic.MetricsEpochCycles == 0 {
+			ic.MetricsEpochCycles = DefaultMetricsEpochCycles
+		}
+	}
 	sys, err := core.NewSystem(ic)
 	if err != nil {
 		return nil, err
@@ -185,11 +220,14 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		return nil, err
 	}
 	out := &SimResult{
-		NSFinish:         res.NSFinish,
-		AvgNSExecCycles:  res.AvgNSFinish(),
-		NSReadLatencyNs:  clock.CPUToNanos(uint64(res.AvgReadLatency())),
-		NSWriteLatencyNs: clock.CPUToNanos(uint64(res.AvgWriteLatency())),
-		TotalEnergyUJ:    res.TotalEnergyUJ(),
+		NSFinish:           res.NSFinish,
+		AvgNSExecCycles:    res.AvgNSFinish(),
+		NSReadLatencyNs:    clock.CPUToNanos(uint64(res.AvgReadLatency())),
+		NSWriteLatencyNs:   clock.CPUToNanos(uint64(res.AvgWriteLatency())),
+		TotalEnergyUJ:      res.TotalEnergyUJ(),
+		ChannelDataBusBusy: res.ChannelDataBusBusy[:],
+		Metrics:            res.Metrics,
+		Timeline:           res.Timeline,
 	}
 	if res.NSReadHist != nil {
 		out.NSReadP50Ns = clock.CPUToNanos(res.NSReadHist.Percentile(50))
@@ -202,10 +240,10 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	}
 	lf := res.TotalLinkFaults()
 	out.LinkFaults = LinkFaultSummary{
-		Corrupted:     lf.Corrupted,
-		Lost:          lf.Lost,
-		Retransmits:   lf.Retransmits,
-		GiveUps:       lf.GiveUps,
+		Corrupted:    lf.Corrupted,
+		Lost:         lf.Lost,
+		Retransmits:  lf.Retransmits,
+		GiveUps:      lf.GiveUps,
 		RetryDelayNs: clock.CPUToNanos(lf.RetryCycles),
 	}
 	return out, nil
