@@ -165,6 +165,21 @@ func BenchmarkSimulateDORAMMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateDORAMTrace is BenchmarkSimulateDORAM with per-access
+// event tracing enabled; comparing against the base benchmark measures the
+// recording overhead (the disabled-path cost stays at a nil check per
+// instrumentation point, same contract as the metrics subsystem).
+func BenchmarkSimulateDORAMTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSimConfig(SchemeDORAM, "libq")
+		cfg.TraceLen = 1000
+		cfg.Trace = true
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRingORAMAccess measures one Ring ORAM access (single-slot
 // online reads plus amortized eviction) for comparison with
 // BenchmarkFunctionalORAMAccess.

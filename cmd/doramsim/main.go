@@ -46,9 +46,29 @@ func main() {
 		metricsEpoch = flag.Uint64("metrics-epoch", 0, "timeline sampling period in CPU cycles (0 = default; implies -metrics)")
 		metricsJSON  = flag.String("metrics-json", "", "write the metric dump as JSON to this file (\"-\" = stdout; implies -metrics)")
 		metricsCSV   = flag.String("metrics-csv", "", "write the sampled timeline as CSV to this file (\"-\" = stdout; implies -metrics)")
-		pprofOut     = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
+
+		traceJSON   = flag.String("trace-json", "", "write the per-access event trace as Chrome trace-event JSON to this file (\"-\" = stdout; implies tracing)")
+		traceLimit  = flag.Int("trace-limit", 0, "max span events retained in the trace ring buffer (0 = 200000)")
+		traceSample = flag.Uint64("trace-sample", 1, "keep every Nth ORAM access / NS request in the event ring")
+		traceTop    = flag.Int("trace-top", 0, "report the N slowest ORAM accesses with per-stage breakdowns (implies tracing)")
+		traceCheck  = flag.String("trace-validate", "", "validate a Chrome trace JSON file (nesting + timestamp invariants) and exit")
+
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+
+	if *traceCheck != "" {
+		data, err := os.ReadFile(*traceCheck)
+		if err == nil {
+			err = doram.ValidateChromeTrace(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doramsim: trace-validate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: trace OK\n", *traceCheck)
+		return
+	}
 
 	if *chaos {
 		runChaos(*seed)
@@ -66,6 +86,12 @@ func main() {
 	cfg.LinkLossProb = *linkLoss
 	cfg.Metrics = *metricsOn || *metricsJSON != "" || *metricsCSV != ""
 	cfg.MetricsEpochCycles = *metricsEpoch
+	cfg.Trace = *traceJSON != "" || *traceTop > 0
+	cfg.TraceEventLimit = *traceLimit
+	if cfg.Trace || *traceSample > 1 {
+		cfg.TraceSample = *traceSample
+	}
+	cfg.TraceTopN = *traceTop
 	if *channels != "" {
 		for _, s := range strings.Split(*channels, ",") {
 			ch, err := strconv.Atoi(strings.TrimSpace(s))
@@ -104,6 +130,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeTrace(res, *traceJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -133,6 +163,80 @@ func main() {
 		fmt.Printf("  link faults recovered:    %d corrupted + %d lost (%d retransmits, +%.0f ns, %d give-ups)\n",
 			lf.Corrupted, lf.Lost, lf.Retransmits, lf.RetryDelayNs, lf.GiveUps)
 	}
+	if res.LatencyBreakdown != nil {
+		printTraceReport(res.LatencyBreakdown)
+	}
+	if *traceTop > 0 && res.Trace != nil {
+		printTraceTop(res.Trace, *traceTop)
+	}
+}
+
+// printTraceReport renders the latency-attribution table: per request kind
+// the end-to-end distribution, then each stage's share of the mean (stage
+// means sum to the end-to-end mean; percentiles are per-stage marginals).
+func printTraceReport(rep *doram.TraceReport) {
+	if len(rep.Kinds) == 0 {
+		return
+	}
+	fmt.Printf("  latency attribution (CPU cycles):\n")
+	for _, k := range rep.Kinds {
+		t := k.Total
+		fmt.Printf("    %-10s n=%-8d mean=%-10.1f p50<=%-8d p95<=%-8d p99<=%d\n",
+			k.Kind, t.Count, t.Mean, t.P50, t.P95, t.P99)
+		for _, st := range k.Stages {
+			share := 0.0
+			if t.Mean > 0 {
+				share = 100 * st.Mean / t.Mean
+			}
+			fmt.Printf("      %-12s %5.1f%%  mean=%-10.1f p50<=%-8d p95<=%-8d p99<=%d\n",
+				st.Stage, share, st.Mean, st.P50, st.P95, st.P99)
+		}
+	}
+}
+
+// printTraceTop renders the slowest ORAM accesses, worst first, with their
+// per-stage splits.
+func printTraceTop(tr *doram.EventTrace, n int) {
+	if n > len(tr.Top) {
+		n = len(tr.Top)
+	}
+	if n == 0 {
+		return
+	}
+	fmt.Printf("  slowest ORAM accesses (CPU cycles):\n")
+	for i := 0; i < n; i++ {
+		a := tr.Top[i]
+		fmt.Printf("    #%-2d start=%-12d total=%-8d", i+1, a.Start, a.Total)
+		for _, st := range a.Stages {
+			if st.Dur > 0 {
+				fmt.Printf(" %s=%d", st.Name, st.Dur)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// writeTrace exports the run's event trace as Chrome trace-event JSON;
+// "-" means stdout.
+func writeTrace(res *doram.SimResult, path string) error {
+	if path == "" {
+		return nil
+	}
+	if res.Trace == nil {
+		return fmt.Errorf("trace-json: run produced no event trace")
+	}
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	werr := res.Trace.WriteChrome(w)
+	if err := closeFn(); werr == nil {
+		werr = err
+	}
+	if werr != nil {
+		return fmt.Errorf("trace-json: %w", werr)
+	}
+	return nil
 }
 
 // writeMetrics exports the run's metric dump (JSON) and sampled timeline

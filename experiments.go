@@ -25,6 +25,10 @@ type ExperimentOptions struct {
 	// MetricsEpochCycles overrides the timeline sampling period; 0 uses
 	// DefaultMetricsEpochCycles. Only meaningful with MetricsDir.
 	MetricsEpochCycles uint64
+	// TraceDir, when set, enables per-access event tracing on every run
+	// (ORAM spans only, sampled) and writes one Chrome trace JSON per run
+	// into the directory (created if missing).
+	TraceDir string
 }
 
 func (o ExperimentOptions) internal() experiments.Options {
@@ -43,6 +47,7 @@ func (o ExperimentOptions) internal() experiments.Options {
 	}
 	io.MetricsDir = o.MetricsDir
 	io.MetricsEpochCycles = o.MetricsEpochCycles
+	io.TraceDir = o.TraceDir
 	return io
 }
 

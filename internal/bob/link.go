@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"doram/internal/clock"
+	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/stats"
 )
@@ -116,6 +117,13 @@ type Link struct {
 	up   direction
 
 	faults FaultModel
+
+	// trace, when attached, records one "packet" span per sampled send on
+	// tracks trackPrefix+"down" / trackPrefix+"up", covering serialization
+	// start through receiver acceptance (retransmits included). nil costs
+	// one nil check per ID-carrying send.
+	trace       *evtrace.Tracer
+	trackPrefix string
 }
 
 type direction struct {
@@ -217,6 +225,40 @@ func (l *Link) SendDown(n int, now uint64) uint64 { return l.send(&l.down, n, no
 // SendUp transmits n bytes toward the CPU at CPU cycle now and returns the
 // arrival cycle.
 func (l *Link) SendUp(n int, now uint64) uint64 { return l.send(&l.up, n, now) }
+
+// SendDownFor is SendDown carrying a tracer request ID: when a tracer is
+// attached and id is non-zero, the packet's wire time (queueing for the
+// direction excluded, retransmits included) is recorded as a span.
+func (l *Link) SendDownFor(id uint64, n int, now uint64) uint64 {
+	return l.sendFor(&l.down, "down", id, n, now)
+}
+
+// SendUpFor is SendUp carrying a tracer request ID.
+func (l *Link) SendUpFor(id uint64, n int, now uint64) uint64 {
+	return l.sendFor(&l.up, "up", id, n, now)
+}
+
+func (l *Link) sendFor(d *direction, name string, id uint64, n int, now uint64) uint64 {
+	if l.trace == nil || id == 0 {
+		return l.send(d, n, now)
+	}
+	// Serialization starts when the wire frees up; capture it before send
+	// advances freeAt.
+	start := now
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	arrival := l.send(d, n, now)
+	l.trace.EmitOverlap(l.trackPrefix+name, "link", "packet", id, start, arrival, uint64(n))
+	return arrival
+}
+
+// AttachTracer routes per-packet spans to t under trackPrefix (e.g.
+// "chan0.link."). No-op fields on nil.
+func (l *Link) AttachTracer(t *evtrace.Tracer, trackPrefix string) {
+	l.trace = t
+	l.trackPrefix = trackPrefix
+}
 
 // DownStats returns statistics for the CPU-to-BOB direction.
 func (l *Link) DownStats() *LinkStats { return &l.down.stats }

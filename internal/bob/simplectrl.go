@@ -5,6 +5,7 @@ import (
 
 	"doram/internal/addrmap"
 	"doram/internal/clock"
+	"doram/internal/evtrace"
 	"doram/internal/mc"
 	"doram/internal/metrics"
 	"doram/internal/stats"
@@ -18,6 +19,8 @@ type NSRequest struct {
 	// sub-channel index.
 	Coord addrmap.Coord
 	AppID int
+	// TraceID ties the request's tracer spans together; 0 = unsampled.
+	TraceID uint64
 	// OnDone fires for reads when the response packet reaches the CPU
 	// (CPU cycles). Writes are posted and have no response.
 	OnDone func(cpuCycle uint64)
@@ -35,8 +38,9 @@ type CtrlStats struct {
 }
 
 type arrivedReq struct {
-	req     *NSRequest
-	readyAt uint64 // CPU cycle the packet finishes arriving at the BOB
+	req      *NSRequest
+	submitAt uint64 // CPU cycle the CPU handed the packet to the link
+	readyAt  uint64 // CPU cycle the packet finishes arriving at the BOB
 }
 
 // SimpleController is the on-board half of one BOB channel: it receives
@@ -52,6 +56,12 @@ type SimpleController struct {
 	inQCap int
 
 	stats CtrlStats
+
+	// trace records per-request lifecycle spans and the NS latency
+	// breakdown; nil (the default) costs one nil check per completion.
+	// track is the timeline row, e.g. "chan1.bob".
+	trace *evtrace.Tracer
+	track string
 }
 
 // NewSimpleController builds a controller over the given link and
@@ -95,6 +105,14 @@ func (s *SimpleController) AttachMetrics(r *metrics.Registry, prefix string) {
 	r.Gauge(prefix+"in_q", metrics.Level(func() int { return len(s.inQ) }))
 }
 
+// AttachTracer routes per-request spans and NS latency breakdowns to t on
+// the given track. Breakdowns are recorded for every request; spans only
+// for those whose TraceID sampled in. No-op fields on nil.
+func (s *SimpleController) AttachTracer(t *evtrace.Tracer, track string) {
+	s.trace = t
+	s.track = track
+}
+
 // Submit sends a request packet from the CPU's main controller at CPU
 // cycle now. It returns false when the on-board buffer is full.
 func (s *SimpleController) Submit(r *NSRequest, now uint64) bool {
@@ -102,8 +120,8 @@ func (s *SimpleController) Submit(r *NSRequest, now uint64) bool {
 		s.stats.Rejected.Inc()
 		return false
 	}
-	arrival := s.link.SendDown(FullPacketBytes, now)
-	s.inQ = append(s.inQ, arrivedReq{req: r, readyAt: arrival})
+	arrival := s.link.SendDownFor(r.TraceID, FullPacketBytes, now)
+	s.inQ = append(s.inQ, arrivedReq{req: r, submitAt: now, readyAt: arrival})
 	s.stats.Submitted.Inc()
 	return true
 }
@@ -119,7 +137,7 @@ func (s *SimpleController) Tick(cpuNow uint64) {
 			keep = append(keep, a)
 			continue
 		}
-		if !s.forward(a.req, memNow) {
+		if !s.forward(a, memNow) {
 			keep = append(keep, a) // sub-channel queue full; retry
 		}
 	}
@@ -130,25 +148,54 @@ func (s *SimpleController) Tick(cpuNow uint64) {
 }
 
 // forward moves one request into its sub-channel controller.
-func (s *SimpleController) forward(r *NSRequest, memNow uint64) bool {
+func (s *SimpleController) forward(a arrivedReq, memNow uint64) bool {
+	r := a.req
 	sub := s.subs[r.Coord.Bus]
 	op := mc.OpRead
 	if r.Write {
 		op = mc.OpWrite
 	}
-	req := &mc.Request{Op: op, Coord: r.Coord, AppID: r.AppID}
-	if !r.Write && r.OnDone != nil {
+	req := &mc.Request{Op: op, Coord: r.Coord, AppID: r.AppID, TraceID: r.TraceID}
+	trace := s.trace
+	submitAt, readyAt, fwdCPU := a.submitAt, a.readyAt, clock.ToCPU(memNow)
+	if !r.Write && (r.OnDone != nil || trace != nil) {
 		onDone := r.OnDone
-		req.OnComplete = func(_ *mc.Request, memDone uint64) {
+		req.OnComplete = func(mr *mc.Request, memDone uint64) {
 			// Response packet back over the link.
-			arrive := s.link.SendUp(FullPacketBytes, clock.ToCPU(memDone))
-			onDone(arrive)
+			arrive := s.link.SendUpFor(r.TraceID, FullPacketBytes, clock.ToCPU(memDone))
+			if trace != nil {
+				issued, done := clock.ToCPU(mr.IssuedAt), clock.ToCPU(memDone)
+				trace.RecordStages(evtrace.KindNSRead, r.TraceID, submitAt, arrive-submitAt,
+					evtrace.Stage{Name: "link_down", Dur: readyAt - submitAt},
+					evtrace.Stage{Name: "bob_queue", Dur: fwdCPU - readyAt},
+					evtrace.Stage{Name: "mc_queue", Dur: issued - fwdCPU},
+					evtrace.Stage{Name: "dram", Dur: done - issued},
+					evtrace.Stage{Name: "link_up", Dur: arrive - done})
+				trace.Emit(s.track, "ns", "ns_read", r.TraceID, submitAt, arrive, 0)
+				trace.Emit(s.track, "ns", "queued", r.TraceID, readyAt, fwdCPU, 0)
+			}
+			if onDone != nil {
+				onDone(arrive)
+			}
 		}
 	}
-	if r.Write && r.OnWriteDrained != nil {
+	if r.Write && (r.OnWriteDrained != nil || trace != nil) {
 		onDrained := r.OnWriteDrained
-		req.OnComplete = func(_ *mc.Request, memDone uint64) {
-			onDrained(clock.ToCPU(memDone))
+		req.OnComplete = func(mr *mc.Request, memDone uint64) {
+			done := clock.ToCPU(memDone)
+			if trace != nil {
+				issued := clock.ToCPU(mr.IssuedAt)
+				trace.RecordStages(evtrace.KindNSWrite, r.TraceID, submitAt, done-submitAt,
+					evtrace.Stage{Name: "link_down", Dur: readyAt - submitAt},
+					evtrace.Stage{Name: "bob_queue", Dur: fwdCPU - readyAt},
+					evtrace.Stage{Name: "mc_queue", Dur: issued - fwdCPU},
+					evtrace.Stage{Name: "dram", Dur: done - issued})
+				trace.Emit(s.track, "ns", "ns_write", r.TraceID, submitAt, done, 0)
+				trace.Emit(s.track, "ns", "queued", r.TraceID, readyAt, fwdCPU, 0)
+			}
+			if onDrained != nil {
+				onDrained(done)
+			}
 		}
 	}
 	if !sub.Enqueue(req, memNow) {

@@ -148,6 +148,27 @@ type Config struct {
 	// dump. 0 (the default) disables it entirely; the instrumented hot
 	// paths then pay at most a nil check.
 	MetricsEpochCycles uint64
+
+	// TraceEvents enables per-access event tracing: every component
+	// records nested spans (engine request, delegator phases, link
+	// packets, MC queue-wait/service, NS request lifecycle) into
+	// Results.Trace, along with the per-stage latency-attribution report.
+	// Off (the default) the instrumented hot paths pay at most a nil
+	// check, exactly like the metrics subsystem.
+	TraceEvents bool
+	// TraceLimit bounds retained span events (ring buffer; oldest events
+	// drop first and are counted). 0 means evtrace.DefaultLimit.
+	TraceLimit int
+	// TraceSample keeps every Nth ORAM access / NS request in the event
+	// ring (0 or 1 = all). The attribution report always covers every
+	// access regardless of sampling.
+	TraceSample uint64
+	// TraceOramOnly suppresses NS-request spans (sweep traces); NS
+	// breakdowns are still recorded.
+	TraceOramOnly bool
+	// TraceTopK sizes the slowest-ORAM-accesses report (0 means
+	// evtrace.DefaultTopK).
+	TraceTopK int
 }
 
 // DefaultMetricsEpochCycles is the timeline sampling period callers should
@@ -206,6 +227,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: LinkLossProb %v out of [0,1]", c.LinkLossProb)
 	case (c.LinkCorruptProb > 0 || c.LinkLossProb > 0) && c.Scheme != DORAM:
 		return fmt.Errorf("core: link fault injection requires the DORAM scheme")
+	case c.TraceLimit < 0 || c.TraceTopK < 0:
+		return fmt.Errorf("core: TraceLimit/TraceTopK must be non-negative")
+	case (c.TraceLimit > 0 || c.TraceSample > 1 || c.TraceOramOnly || c.TraceTopK > 0) && !c.TraceEvents:
+		return fmt.Errorf("core: trace options require TraceEvents")
 	}
 	for _, ch := range c.NSChannels {
 		if ch < 0 || ch >= NumChannels {

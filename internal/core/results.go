@@ -2,6 +2,7 @@ package core
 
 import (
 	"doram/internal/delegator"
+	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/stats"
 )
@@ -65,6 +66,10 @@ type Results struct {
 	// was set. Timeline and Metrics.Timeline are the same object.
 	Timeline *metrics.Timeline
 	Metrics  *metrics.Dump
+
+	// Trace is the per-access event trace and latency-attribution report;
+	// nil unless Config.TraceEvents was set.
+	Trace *evtrace.Trace
 }
 
 // LinkFaultStats summarizes one serial link's unreliability and the cost

@@ -9,6 +9,7 @@ import (
 	"doram/internal/cpu"
 	"doram/internal/delegator"
 	"doram/internal/dram"
+	"doram/internal/evtrace"
 	"doram/internal/faults"
 	"doram/internal/mc"
 	"doram/internal/metrics"
@@ -52,6 +53,10 @@ type System struct {
 	// costs one predictable branch per cycle.
 	metrics      *metrics.Registry
 	metricsEpoch uint64
+
+	// trace is the per-access span tracer (nil unless Config.TraceEvents);
+	// every component call through it is nil-safe.
+	trace *evtrace.Tracer
 }
 
 // appBase separates per-application address spaces so different apps use
@@ -179,7 +184,48 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.MetricsEpochCycles > 0 {
 		s.attachMetrics(cfg.MetricsEpochCycles)
 	}
+	if cfg.TraceEvents {
+		s.attachTrace()
+	}
 	return s, nil
+}
+
+// attachTrace builds the run's event tracer and wires every component's
+// spans onto stable tracks mirroring the metric prefixes: one track per
+// link direction, BOB controller, (sub-)channel MC and DRAM device, and
+// per S-App copy a "sapp<N>" lifecycle track plus its engine's.
+func (s *System) attachTrace() {
+	t := evtrace.New(evtrace.Config{
+		Limit:    s.cfg.TraceLimit,
+		Sample:   s.cfg.TraceSample,
+		TopK:     s.cfg.TraceTopK,
+		OramOnly: s.cfg.TraceOramOnly,
+	})
+	s.trace = t
+	if s.cfg.Scheme == DORAM {
+		for c, b := range s.bobs {
+			b.Link().AttachTracer(t, fmt.Sprintf("chan%d.link.", c))
+			b.AttachTracer(t, fmt.Sprintf("chan%d.bob", c))
+			for i, sub := range b.SubChannels() {
+				sub.AttachTracer(t, fmt.Sprintf("chan%d.sub%d.mc", c, i))
+				sub.Channel().AttachTracer(t, fmt.Sprintf("chan%d.sub%d.dram", c, i))
+			}
+		}
+	} else {
+		for c, m := range s.directMCs {
+			m.AttachTracer(t, fmt.Sprintf("chan%d.mc", c))
+			m.Channel().AttachTracer(t, fmt.Sprintf("chan%d.dram", c))
+		}
+	}
+	for i, sd := range s.sds {
+		sd.AttachTracer(t, fmt.Sprintf("sapp%d", i))
+	}
+	for i, oc := range s.onchips {
+		oc.AttachTracer(t, fmt.Sprintf("sapp%d", i))
+	}
+	for i, e := range s.engines {
+		e.AttachTracer(t, fmt.Sprintf("sapp%d.engine", i))
+	}
 }
 
 // attachMetrics builds the run's metric registry, wires every simulated
@@ -354,14 +400,20 @@ func (p *directPort) Access(write bool, addr uint64, now uint64, onDone func(uin
 	}
 	req := &mc.Request{Op: op, Coord: coord, AppID: p.appID}
 	sys, issue := p.sys, now
+	if sys.trace != nil {
+		req.TraceID = sys.trace.RequestID()
+	}
 	if write {
-		req.OnComplete = func(_ *mc.Request, memDone uint64) {
-			sys.recordWrite(ch, clock.ToCPU(memDone)-issue)
+		req.OnComplete = func(r *mc.Request, memDone uint64) {
+			done := clock.ToCPU(memDone)
+			sys.recordWrite(ch, done-issue)
+			sys.traceDirectNS(r, ch, issue, done, true)
 		}
 	} else {
-		req.OnComplete = func(_ *mc.Request, memDone uint64) {
+		req.OnComplete = func(r *mc.Request, memDone uint64) {
 			done := clock.ToCPU(memDone)
 			sys.recordRead(ch, done-issue)
+			sys.traceDirectNS(r, ch, issue, done, false)
 			if onDone != nil {
 				onDone(done)
 			}
@@ -385,6 +437,9 @@ func (p *bobPort) Access(write bool, addr uint64, now uint64, onDone func(uint64
 	coord := p.sys.chanMappers[ch].Map(p.base + localAddr)
 	sys, issue := p.sys, now
 	req := &bob.NSRequest{Write: write, Coord: coord, AppID: p.appID}
+	if sys.trace != nil {
+		req.TraceID = sys.trace.RequestID()
+	}
 	if write {
 		req.OnWriteDrained = func(done uint64) { sys.recordWrite(ch, done-issue) }
 	} else {
@@ -408,6 +463,31 @@ type secMemPort struct {
 // Access implements cpu.Port.
 func (p *secMemPort) Access(write bool, addr uint64, now uint64, onDone func(uint64)) bool {
 	return p.smem.Access(write, p.base+addr, now, onDone)
+}
+
+// traceDirectNS records one direct-attached NS request's latency breakdown
+// (controller queue wait, then DRAM service) and its root span on the "cpu"
+// track. The memory-clock flooring on enqueue and issue is folded into
+// mc_queue so the two stages sum exactly to the end-to-end latency.
+func (s *System) traceDirectNS(r *mc.Request, ch int, issue, done uint64, write bool) {
+	if s.trace == nil {
+		return
+	}
+	issued := clock.ToCPU(r.IssuedAt)
+	if issued < issue {
+		issued = issue
+	}
+	if issued > done {
+		issued = done
+	}
+	kind, name := evtrace.KindNSRead, "ns_read"
+	if write {
+		kind, name = evtrace.KindNSWrite, "ns_write"
+	}
+	s.trace.RecordStages(kind, r.TraceID, issue, done-issue,
+		evtrace.Stage{Name: "mc_queue", Dur: issued - issue},
+		evtrace.Stage{Name: "dram", Dur: done - issued})
+	s.trace.Emit("cpu", "ns", name, r.TraceID, issue, done, uint64(ch))
 }
 
 func (s *System) recordRead(ch int, lat uint64) {
@@ -499,6 +579,13 @@ func (s *System) collect(cyc uint64) {
 		s.metrics.Sample(cyc)
 		s.res.Timeline = s.metrics.Timeline()
 		s.res.Metrics = s.metrics.Dump()
+	}
+	if s.trace != nil {
+		// End spans still open at run end (accesses in flight when the last
+		// measured core retired) so the export stays balanced, then seal the
+		// trace and build the attribution report.
+		s.trace.CloseOpen(cyc)
+		s.res.Trace = s.trace.Finish()
 	}
 	for _, c := range s.nsCores {
 		s.res.NSFinish = append(s.res.NSFinish, c.FinishedAt())

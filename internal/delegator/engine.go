@@ -1,6 +1,7 @@
 package delegator
 
 import (
+	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/stats"
 )
@@ -50,6 +51,12 @@ type Engine struct {
 	epochTotal int
 
 	stats EngineStats
+
+	// trace allocates per-access IDs and records engine-level request
+	// spans; nil (the default) costs one nil check per issued access.
+	// track is the timeline row, e.g. "sapp0.engine".
+	trace *evtrace.Tracer
+	track string
 }
 
 type engineOp struct {
@@ -125,6 +132,15 @@ func (e *Engine) AttachMetrics(r *metrics.Registry, prefix string) {
 	r.Gauge(prefix+"pace", func(uint64) float64 { return float64(e.pace) })
 }
 
+// AttachTracer makes the engine the ID-allocation point for ORAM accesses:
+// each issued access (real or dummy) draws an ID from t's sampler and is
+// recorded as a "request" span from issue to response arrival. No-op
+// fields on nil.
+func (e *Engine) AttachTracer(t *evtrace.Tracer, track string) {
+	e.trace = t
+	e.track = track
+}
+
 // Access implements the core's memory port (cpu.Port compatible): S-App
 // misses enter the secure engine's queue. Writes are posted; reads
 // complete when their ORAM access responds.
@@ -150,11 +166,15 @@ func (e *Engine) Tick(now uint64) {
 		a.Write = op.write
 		a.Addr = op.addr
 	}
+	if e.trace != nil {
+		a.TraceID = e.trace.AccessID()
+	}
 	a.OnResponse = func(resp uint64) {
 		e.waiting = false
 		e.sendAt = resp + e.pace
 		if resp >= e.sentAt {
 			e.stats.Turnaround.Observe(resp - e.sentAt)
+			e.trace.Emit(e.track, "oram", "request", a.TraceID, e.sentAt, resp, 0)
 		}
 		if op != nil && op.onDone != nil {
 			op.onDone(resp)

@@ -17,6 +17,10 @@ type Access struct {
 	// Addr is the S-App's logical block address (line-aligned bytes).
 	Addr uint64
 
+	// TraceID ties the access's tracer spans (engine, executor, link, mc)
+	// together; 0 = unsampled. Assigned by the engine.
+	TraceID uint64
+
 	// OnResponse fires when the response packet reaches the processor
 	// (CPU cycle): the read-phase data is available and the engine starts
 	// its t-cycle countdown to the next request.

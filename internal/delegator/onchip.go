@@ -3,6 +3,7 @@ package delegator
 import (
 	"doram/internal/addrmap"
 	"doram/internal/clock"
+	"doram/internal/evtrace"
 	"doram/internal/mc"
 	"doram/internal/metrics"
 	"doram/internal/oram"
@@ -46,6 +47,21 @@ type OnChip struct {
 	// the baseline's on-chip stash-plus-path-buffer occupancy.
 	held    int
 	heldMax int
+
+	// trace records per-access spans and the ORAM latency breakdown with
+	// the same stage names as the SD (link_down is 0 on-chip), so baseline
+	// and D-ORAM attribution reports compare stage by stage. nil costs one
+	// nil check per transition.
+	trace *evtrace.Tracer
+	track string
+
+	// Lifecycle timestamps of the single in-flight access (CPU cycles).
+	bufferedSubmit uint64
+	submitAt       uint64
+	readStart      uint64
+	readEnd        uint64
+	respAt         uint64
+	writeStart     uint64
 }
 
 // NewOnChip builds the baseline executor over the direct-attached channel
@@ -96,6 +112,14 @@ func (o *OnChip) AttachMetrics(r *metrics.Registry, prefix string) {
 	o.sampler.AttachMetrics(r, prefix+"pos.")
 }
 
+// AttachTracer routes per-access lifecycle spans and the ORAM latency
+// breakdown to t on the given track, mirroring SD.AttachTracer. No-op on
+// nil.
+func (o *OnChip) AttachTracer(t *evtrace.Tracer, track string) {
+	o.trace = t
+	o.track = track
+}
+
 // Busy reports whether an access is in flight.
 func (o *OnChip) Busy() bool { return o.state != sdIdle || !o.sched.Empty() }
 
@@ -105,6 +129,7 @@ func (o *OnChip) Submit(a *Access, now uint64) bool {
 		return false
 	}
 	o.buffered = a
+	o.bufferedSubmit = now
 	o.sched.Add(now+o.cfg.CryptoCycles, o.tryStart)
 	return true
 }
@@ -118,6 +143,8 @@ func (o *OnChip) tryStart(now uint64) {
 	o.cur = a
 	o.state = sdRead
 	o.phaseStart = now
+	o.submitAt = o.bufferedSubmit
+	o.readStart = now
 	if a.Real {
 		o.curTrace = o.sampler.Access(a.Addr / uint64(o.lay.Params().BlockSize))
 		o.stats.RealAccesses.Inc()
@@ -142,7 +169,7 @@ func (o *OnChip) issue(node oram.NodeID, slot int, op mc.OpType, now uint64, don
 	ch := pl.SubChannel % len(o.mcs)
 	coord := o.maps[ch].Map(o.cfg.OramBase + pl.Addr)
 	coord.Bus = ch
-	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1,
+	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1, TraceID: o.cur.TraceID,
 		OnComplete: func(_ *mc.Request, memDone uint64) { done(clock.ToCPU(memDone)) }}
 	ctrl := o.mcs[ch]
 	var attempt func(uint64)
@@ -164,11 +191,14 @@ func (o *OnChip) readDone(now uint64) {
 		return
 	}
 	o.stats.ReadPhase.Observe(now - o.phaseStart)
+	o.readEnd = now
+	o.respAt = now + o.cfg.CryptoCycles
 	if o.cur.OnResponse != nil {
-		o.cur.OnResponse(now + o.cfg.CryptoCycles)
+		o.cur.OnResponse(o.respAt)
 	}
 	o.state = sdWrite
 	o.phaseStart = now
+	o.writeStart = now
 	z := o.lay.Params().Z
 	o.writesLeft = len(o.curTrace.WriteNodes) * z
 	for _, node := range o.curTrace.WriteNodes {
@@ -185,8 +215,33 @@ func (o *OnChip) writeDone(now uint64) {
 		return
 	}
 	o.stats.WritePhase.Observe(now - o.phaseStart)
+	o.finishAccess(now)
 	o.state = sdIdle
 	o.tryStart(now)
+}
+
+// finishAccess records the completed access's latency breakdown and spans,
+// with the same telescoping stage partition as SD.finishAccess.
+func (o *OnChip) finishAccess(now uint64) {
+	if o.trace == nil {
+		return
+	}
+	end := o.respAt
+	if now > end {
+		end = now
+	}
+	o.trace.RecordStages(evtrace.KindOram, o.cur.TraceID, o.submitAt, end-o.submitAt,
+		evtrace.Stage{Name: "link_down", Dur: 0},
+		evtrace.Stage{Name: "sd_wait", Dur: o.readStart - o.submitAt},
+		evtrace.Stage{Name: "read_phase", Dur: o.readEnd - o.readStart},
+		evtrace.Stage{Name: "respond", Dur: o.respAt - o.readEnd},
+		evtrace.Stage{Name: "writeback", Dur: end - o.respAt})
+	id := o.cur.TraceID
+	o.trace.Emit(o.track, "oram", "access", id, o.submitAt, end, 0)
+	o.trace.Emit(o.track, "oram", "sd_wait", id, o.submitAt, o.readStart, 0)
+	o.trace.Emit(o.track, "oram", "read_phase", id, o.readStart, o.readEnd, 0)
+	o.trace.Emit(o.track, "oram", "respond", id, o.readEnd, o.respAt, 0)
+	o.trace.Emit(o.track+".wb", "oram", "write_phase", id, o.writeStart, now, 0)
 }
 
 // Tick processes due events; call once per memory-clock edge.

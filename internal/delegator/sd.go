@@ -6,6 +6,7 @@ import (
 	"doram/internal/addrmap"
 	"doram/internal/bob"
 	"doram/internal/clock"
+	"doram/internal/evtrace"
 	"doram/internal/mc"
 	"doram/internal/metrics"
 	"doram/internal/oram"
@@ -44,6 +45,17 @@ type sdAccess struct {
 	readsLeft  int
 	writesLeft int
 	phaseStart uint64
+
+	// Lifecycle timestamps for the latency-attribution breakdown (CPU
+	// cycles): submit → link arrival → read start → last read → response
+	// at CPU → write start → last write. Stages telescope so their sum is
+	// exactly the end-to-end latency.
+	submitAt   uint64
+	linkArrive uint64
+	readStart  uint64
+	readEnd    uint64
+	respAt     uint64
+	writeStart uint64
 }
 
 // SD is the secure delegator embedded in the secure channel's BOB unit.
@@ -84,6 +96,18 @@ type SD struct {
 	// occupancy, D-ORAM's analogue of the on-chip stash depth.
 	held    int
 	heldMax int
+
+	// trace records per-access spans and the ORAM latency breakdown; nil
+	// (the default) costs one nil check per lifecycle transition. track
+	// is the access timeline row (e.g. "sapp0"); write-back drain spans
+	// land on track+".wb" because they overlap the response stage.
+	trace *evtrace.Tracer
+	track string
+
+	// bufferedSubmit/bufferedArrival stamp the buffered access's request
+	// packet (sdAccess is only built once the read phase starts).
+	bufferedSubmit  uint64
+	bufferedArrival uint64
 }
 
 // SetOverlapPhases toggles read/write phase overlap across consecutive
@@ -150,6 +174,14 @@ func (sd *SD) AttachMetrics(r *metrics.Registry, prefix string) {
 	sd.sampler.AttachMetrics(r, prefix+"pos.")
 }
 
+// AttachTracer routes per-access lifecycle spans and the ORAM latency
+// breakdown to t. track names the access timeline row (e.g. "sapp0").
+// Breakdowns cover every access; spans only sampled ones. No-op on nil.
+func (sd *SD) AttachTracer(t *evtrace.Tracer, track string) {
+	sd.trace = t
+	sd.track = track
+}
+
 // Busy reports whether an access is in flight.
 func (sd *SD) Busy() bool {
 	return sd.reading != nil || sd.writing != nil || sd.pendingWrite != nil || !sd.sched.Empty()
@@ -161,8 +193,9 @@ func (sd *SD) Submit(a *Access, now uint64) bool {
 	if sd.buffered != nil {
 		return false
 	}
-	arrival := sd.secure.Link().SendDown(bob.FullPacketBytes, now)
+	arrival := sd.secure.Link().SendDownFor(a.TraceID, bob.FullPacketBytes, now)
 	sd.buffered = a
+	sd.bufferedSubmit, sd.bufferedArrival = now, arrival
 	sd.sched.Add(arrival+sd.cfg.CryptoCycles, sd.tryStart)
 	return true
 }
@@ -182,11 +215,12 @@ func (sd *SD) tryStart(now uint64) {
 	}
 	a := sd.buffered
 	sd.buffered = nil
-	sd.startRead(a, now)
+	sd.startRead(a, sd.bufferedSubmit, sd.bufferedArrival, now)
 }
 
-func (sd *SD) startRead(a *Access, now uint64) {
-	ctx := &sdAccess{a: a, phaseStart: now}
+func (sd *SD) startRead(a *Access, submitAt, linkArrive, now uint64) {
+	ctx := &sdAccess{a: a, phaseStart: now,
+		submitAt: submitAt, linkArrive: linkArrive, readStart: now}
 	if a.Real {
 		blockAddr := a.Addr / uint64(sd.lay.Params().BlockSize)
 		ctx.trace = sd.sampler.Access(blockAddr)
@@ -206,7 +240,7 @@ func (sd *SD) startRead(a *Access, now uint64) {
 			if pl.Remote {
 				sd.remoteRead(ctx, pl, now)
 			} else {
-				sd.localIssue(pl, mc.OpRead, now, func(t uint64) { sd.readDone(ctx, t) })
+				sd.localIssue(pl, mc.OpRead, a.TraceID, now, func(t uint64) { sd.readDone(ctx, t) })
 			}
 		}
 	}
@@ -214,9 +248,9 @@ func (sd *SD) startRead(a *Access, now uint64) {
 
 // localIssue enqueues one block transaction on a secure sub-channel,
 // retrying while the DRAM queue is full.
-func (sd *SD) localIssue(pl layout.Placement, op mc.OpType, now uint64, done func(uint64)) {
+func (sd *SD) localIssue(pl layout.Placement, op mc.OpType, traceID, now uint64, done func(uint64)) {
 	coord := sd.subMap[pl.SubChannel].Map(sd.cfg.OramBase + pl.Addr)
-	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1,
+	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1, TraceID: traceID,
 		OnComplete: func(_ *mc.Request, memDone uint64) { done(clock.ToCPU(memDone)) }}
 	sub := sd.secure.SubChannels()[pl.SubChannel]
 	var attempt func(uint64)
@@ -234,16 +268,17 @@ func (sd *SD) localIssue(pl layout.Placement, op mc.OpType, now uint64, done fun
 // (§III-C).
 func (sd *SD) remoteRead(ctx *sdAccess, pl layout.Placement, now uint64) {
 	sd.stats.RemoteBlocks.Inc()
+	id := ctx.a.TraceID
 	nc := sd.normals[pl.Channel-1]
-	a1 := sd.secure.Link().SendUp(bob.ShortReadBytes, now)
-	a2 := nc.Link().SendDown(bob.ShortReadBytes, a1+sd.cfg.FwdDelay)
+	a1 := sd.secure.Link().SendUpFor(id, bob.ShortReadBytes, now)
+	a2 := nc.Link().SendDownFor(id, bob.ShortReadBytes, a1+sd.cfg.FwdDelay)
 	coord := sd.normalMap[pl.Channel-1].Map(sd.cfg.OramBase + pl.Addr)
 	// Normal channels are not upgraded (§III-C): they cannot tell split
 	// traffic from ordinary requests, so no Secure scheduling class here.
-	req := &mc.Request{Op: mc.OpRead, Coord: coord, AppID: -1,
+	req := &mc.Request{Op: mc.OpRead, Coord: coord, AppID: -1, TraceID: id,
 		OnComplete: func(_ *mc.Request, memDone uint64) {
-			a3 := nc.Link().SendUp(bob.FullPacketBytes, clock.ToCPU(memDone))
-			a4 := sd.secure.Link().SendDown(bob.FullPacketBytes, a3+sd.cfg.FwdDelay)
+			a3 := nc.Link().SendUpFor(id, bob.FullPacketBytes, clock.ToCPU(memDone))
+			a4 := sd.secure.Link().SendDownFor(id, bob.FullPacketBytes, a3+sd.cfg.FwdDelay)
 			sd.sched.Add(a4, func(t uint64) { sd.readDone(ctx, t) })
 		}}
 	sub := nc.SubChannels()[0]
@@ -268,7 +303,9 @@ func (sd *SD) readDone(ctx *sdAccess, now uint64) {
 		return
 	}
 	sd.stats.ReadPhase.Observe(now - ctx.phaseStart)
-	respArrive := sd.secure.Link().SendUp(bob.FullPacketBytes, now+sd.cfg.CryptoCycles)
+	ctx.readEnd = now
+	respArrive := sd.secure.Link().SendUpFor(ctx.a.TraceID, bob.FullPacketBytes, now+sd.cfg.CryptoCycles)
+	ctx.respAt = respArrive
 	if ctx.a.OnResponse != nil {
 		ctx.a.OnResponse(respArrive)
 	}
@@ -284,6 +321,7 @@ func (sd *SD) readDone(ctx *sdAccess, now uint64) {
 func (sd *SD) startWrite(ctx *sdAccess, now uint64) {
 	sd.writing = ctx
 	ctx.phaseStart = now
+	ctx.writeStart = now
 	z := sd.lay.Params().Z
 	ctx.writesLeft = len(ctx.trace.WriteNodes) * z
 	for _, node := range ctx.trace.WriteNodes {
@@ -292,7 +330,7 @@ func (sd *SD) startWrite(ctx *sdAccess, now uint64) {
 			if pl.Remote {
 				sd.remoteWrite(ctx, pl, now)
 			} else {
-				sd.localIssue(pl, mc.OpWrite, now, func(t uint64) { sd.writeDone(ctx, t) })
+				sd.localIssue(pl, mc.OpWrite, ctx.a.TraceID, now, func(t uint64) { sd.writeDone(ctx, t) })
 			}
 		}
 	}
@@ -303,12 +341,13 @@ func (sd *SD) startWrite(ctx *sdAccess, now uint64) {
 // normal channel's link, then a posted DRAM write (fire and forget).
 func (sd *SD) remoteWrite(ctx *sdAccess, pl layout.Placement, now uint64) {
 	sd.stats.RemoteBlocks.Inc()
+	id := ctx.a.TraceID
 	nc := sd.normals[pl.Channel-1]
-	a1 := sd.secure.Link().SendUp(bob.FullPacketBytes, now)
-	a2 := nc.Link().SendDown(bob.FullPacketBytes, a1+sd.cfg.FwdDelay)
+	a1 := sd.secure.Link().SendUpFor(id, bob.FullPacketBytes, now)
+	a2 := nc.Link().SendDownFor(id, bob.FullPacketBytes, a1+sd.cfg.FwdDelay)
 	coord := sd.normalMap[pl.Channel-1].Map(sd.cfg.OramBase + pl.Addr)
 	// Plain write from the unupgraded normal channel's point of view.
-	req := &mc.Request{Op: mc.OpWrite, Coord: coord, AppID: -1}
+	req := &mc.Request{Op: mc.OpWrite, Coord: coord, AppID: -1, TraceID: id}
 	sub := nc.SubChannels()[0]
 	var attempt func(uint64)
 	attempt = func(n uint64) {
@@ -330,6 +369,7 @@ func (sd *SD) writeDone(ctx *sdAccess, now uint64) {
 		return
 	}
 	sd.stats.WritePhase.Observe(now - ctx.phaseStart)
+	sd.finishAccess(ctx, now)
 	sd.writing = nil
 	if sd.pendingWrite != nil {
 		next := sd.pendingWrite
@@ -337,6 +377,33 @@ func (sd *SD) writeDone(ctx *sdAccess, now uint64) {
 		sd.startWrite(next, now)
 	}
 	sd.tryStart(now)
+}
+
+// finishAccess records the completed access's latency breakdown and spans.
+// The stages telescope — link_down + sd_wait + read_phase + respond +
+// writeback == end-to-end — so attribution sums exactly. Write-back drain
+// overlaps the respond stage, so its span lives on a side track.
+func (sd *SD) finishAccess(ctx *sdAccess, now uint64) {
+	if sd.trace == nil {
+		return
+	}
+	end := ctx.respAt
+	if now > end {
+		end = now
+	}
+	sd.trace.RecordStages(evtrace.KindOram, ctx.a.TraceID, ctx.submitAt, end-ctx.submitAt,
+		evtrace.Stage{Name: "link_down", Dur: ctx.linkArrive - ctx.submitAt},
+		evtrace.Stage{Name: "sd_wait", Dur: ctx.readStart - ctx.linkArrive},
+		evtrace.Stage{Name: "read_phase", Dur: ctx.readEnd - ctx.readStart},
+		evtrace.Stage{Name: "respond", Dur: ctx.respAt - ctx.readEnd},
+		evtrace.Stage{Name: "writeback", Dur: end - ctx.respAt})
+	id := ctx.a.TraceID
+	sd.trace.Emit(sd.track, "oram", "access", id, ctx.submitAt, end, 0)
+	sd.trace.Emit(sd.track, "oram", "link_down", id, ctx.submitAt, ctx.linkArrive, 0)
+	sd.trace.Emit(sd.track, "oram", "sd_wait", id, ctx.linkArrive, ctx.readStart, 0)
+	sd.trace.Emit(sd.track, "oram", "read_phase", id, ctx.readStart, ctx.readEnd, 0)
+	sd.trace.Emit(sd.track, "oram", "respond", id, ctx.readEnd, ctx.respAt, 0)
+	sd.trace.Emit(sd.track+".wb", "oram", "write_phase", id, ctx.writeStart, now, 0)
 }
 
 // Tick processes due events; call once per memory-clock edge.

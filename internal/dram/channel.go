@@ -3,6 +3,8 @@ package dram
 import (
 	"fmt"
 
+	"doram/internal/clock"
+	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/stats"
 )
@@ -61,6 +63,14 @@ type Channel struct {
 	lastBurstWr   bool
 
 	stats ChannelStats
+
+	// trace, when attached, records refresh windows as spans on track
+	// (e.g. "chan0.dram"). Per-burst transfers are deliberately not
+	// emitted here — the memory controller's service spans already cover
+	// them, and per-command events would flood the ring. nil costs one
+	// nil check per refresh.
+	trace *evtrace.Tracer
+	track string
 }
 
 // NewChannel builds a channel with the given geometry. It panics on an
@@ -104,6 +114,13 @@ func (ch *Channel) AttachMetrics(r *metrics.Registry, prefix string) {
 	r.Gauge(prefix+"bus_util", metrics.Ratio(func() (uint64, uint64) {
 		return ch.stats.DataBus.Busy(), ch.stats.DataBus.Total()
 	}))
+}
+
+// AttachTracer routes refresh-window spans to t on the given track (CPU
+// cycles). No-op fields on nil.
+func (ch *Channel) AttachTracer(t *evtrace.Tracer, track string) {
+	ch.trace = t
+	ch.track = track
 }
 
 // OpenRow returns the open row of (rank, bank), or RowNone.
@@ -211,6 +228,10 @@ func (ch *Channel) Issue(cmd Command, rank, bank int, row int64, now uint64) uin
 	case CmdRefresh:
 		r.startRefresh(now, t)
 		ch.stats.Refreshes.Inc()
+		if ch.trace != nil {
+			ch.trace.EmitUnkeyed(ch.track, "dram", "refresh",
+				clock.ToCPU(now), clock.ToCPU(now+t.RFC), uint64(rank))
+		}
 		return now + t.RFC
 
 	default:

@@ -1,0 +1,339 @@
+// Package evtrace is a per-access event tracer: the request-granularity
+// complement to internal/metrics' aggregates. Components open nested spans
+// carrying a request ID as work flows cpu → oram client → bob link →
+// delegator → mc → dram; the tracer retains them in a bounded ring and
+// exports Chrome trace-event JSON (chrome.go) plus a per-stage latency
+// attribution report (breakdown.go).
+//
+// Like internal/metrics, the package is nil-safe end to end: a nil *Tracer
+// and a nil *Span are valid receivers for every method and do nothing, so a
+// component holding an unattached tracer pays exactly one nil check per
+// instrumentation point. The name avoids internal/trace, which loads MSC
+// workload traces.
+package evtrace
+
+import "sort"
+
+// DefaultLimit bounds retained events when Config.Limit is unset. At ~64
+// bytes per event this caps tracer memory near 12 MB.
+const DefaultLimit = 200000
+
+// DefaultTopK bounds the slowest-access report when Config.TopK is unset.
+const DefaultTopK = 16
+
+// Config controls retention and sampling.
+type Config struct {
+	// Limit is the maximum number of retained events; older events are
+	// dropped (and counted) once the ring wraps. <= 0 means DefaultLimit.
+	Limit int
+	// Sample keeps every Nth ORAM access (and NS request) in the event
+	// ring; 0 or 1 keeps all. Breakdown histograms always record every
+	// access regardless of sampling — Sample bounds export volume only.
+	Sample uint64
+	// TopK is how many slowest ORAM accesses to retain for the bottleneck
+	// report. <= 0 means DefaultTopK.
+	TopK int
+	// OramOnly suppresses NS-request span IDs (RequestID returns 0) so
+	// sweep traces stay small; ORAM accesses still trace, and NS
+	// breakdown histograms still record.
+	OramOnly bool
+}
+
+// Event is one completed span, half-open over [Start, End) in CPU cycles
+// (except the oram.Client track, which uses a logical operation counter —
+// the functional client has no cycle clock).
+type Event struct {
+	Track string // timeline row, e.g. "chan0.link.down", "sapp0"
+	Cat   string // category: "oram", "ns", "link", "dram"
+	Name  string // span label, e.g. "access", "read_phase", "packet"
+	ID    uint64 // request ID tying spans of one access together; 0 = none
+	Start uint64
+	End   uint64
+	Arg   uint64 // span-specific payload (bytes for packets, 0 otherwise)
+	// Overlap marks resource-occupancy intervals (link packets, per-block
+	// MC wait/service) rather than lifecycle spans: one access fans out
+	// many of them onto one track, so same-ID intervals legitimately
+	// overlap. The Chrome export carries their ID under "req" instead of
+	// "id", exempting them from the per-ID nesting invariant.
+	Overlap bool
+}
+
+// Span is an open interval awaiting End. Child spans must be contained
+// within their parent; violations are counted, not fatal.
+type Span struct {
+	t      *Tracer
+	parent *Span
+	ev     Event
+	// maxChildEnd is the largest End among closed children; parent End
+	// must not precede it.
+	maxChildEnd uint64
+	openIdx     int // index in t.open for swap-remove
+}
+
+// Tracer accumulates events in a bounded ring plus per-stage breakdown
+// histograms. Not safe for concurrent use; the simulator is single-threaded.
+type Tracer struct {
+	cfg Config
+
+	events  []Event // ring storage, len == cfg.Limit once full
+	head    int     // next write position once full
+	full    bool
+	dropped uint64 // events discarded after the ring wrapped
+
+	open []*Span // spans begun but not yet ended
+
+	accessSeq  uint64 // ORAM accesses seen by AccessID
+	requestSeq uint64 // NS requests seen by RequestID
+	nextID     uint64 // last allocated non-zero span ID
+
+	violations uint64 // invariant breaches (containment, stage sums)
+
+	kinds map[string]*kindStats // breakdown accumulators, by kind
+	order []string              // kind insertion order, for stable reports
+
+	top []TopAccess // slowest "oram"-kind accesses, ascending by Total
+}
+
+// New builds a Tracer. Zero-value Config fields take defaults.
+func New(cfg Config) *Tracer {
+	if cfg.Limit <= 0 {
+		cfg.Limit = DefaultLimit
+	}
+	if cfg.Sample == 0 {
+		cfg.Sample = 1
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = DefaultTopK
+	}
+	return &Tracer{cfg: cfg, kinds: make(map[string]*kindStats)}
+}
+
+// AccessID allocates a span ID for the next ORAM access, or 0 when this
+// access falls outside the sampling stride. An ID of 0 means "emit no spans
+// for this access"; every instrumentation point honours that. Safe on nil.
+func (t *Tracer) AccessID() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.accessSeq++
+	if (t.accessSeq-1)%t.cfg.Sample != 0 {
+		return 0
+	}
+	t.nextID++
+	return t.nextID
+}
+
+// RequestID allocates a span ID for the next NS-App request, or 0 when NS
+// tracing is suppressed (OramOnly) or sampled out. Safe on nil.
+func (t *Tracer) RequestID() uint64 {
+	if t == nil || t.cfg.OramOnly {
+		return 0
+	}
+	t.requestSeq++
+	if (t.requestSeq-1)%t.cfg.Sample != 0 {
+		return 0
+	}
+	t.nextID++
+	return t.nextID
+}
+
+// Begin opens a root span. Returns nil (a valid no-op span) on a nil tracer
+// or when id is 0.
+func (t *Tracer) Begin(track, cat, name string, id, now uint64) *Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	s := &Span{t: t, ev: Event{Track: track, Cat: cat, Name: name, ID: id, Start: now}}
+	s.openIdx = len(t.open)
+	t.open = append(t.open, s)
+	return s
+}
+
+// Child opens a nested span inheriting the parent's category and ID. A
+// child starting before its parent is an invariant violation (counted, then
+// clamped). Safe on nil.
+func (s *Span) Child(track, name string, now uint64) *Span {
+	if s == nil {
+		return nil
+	}
+	if now < s.ev.Start {
+		s.t.violations++
+		now = s.ev.Start
+	}
+	c := &Span{t: s.t, parent: s,
+		ev: Event{Track: track, Cat: s.ev.Cat, Name: name, ID: s.ev.ID, Start: now}}
+	c.openIdx = len(s.t.open)
+	s.t.open = append(s.t.open, c)
+	return c
+}
+
+// SetArg attaches a payload value to the span. Safe on nil.
+func (s *Span) SetArg(v uint64) {
+	if s != nil {
+		s.ev.Arg = v
+	}
+}
+
+// End closes the span at now. A span ending before it started, or before
+// one of its children ended, is an invariant violation (counted, then
+// clamped so the exported trace still nests). Safe on nil.
+func (s *Span) End(now uint64) {
+	if s == nil {
+		return
+	}
+	t := s.t
+	if now < s.ev.Start {
+		t.violations++
+		now = s.ev.Start
+	}
+	if now < s.maxChildEnd {
+		t.violations++
+		now = s.maxChildEnd
+	}
+	s.ev.End = now
+	if p := s.parent; p != nil && now > p.maxChildEnd {
+		p.maxChildEnd = now
+	}
+	// Swap-remove from the open list.
+	last := len(t.open) - 1
+	t.open[s.openIdx] = t.open[last]
+	t.open[s.openIdx].openIdx = s.openIdx
+	t.open = t.open[:last]
+	t.push(s.ev)
+}
+
+// Emit records a complete span in one call, for sites that know both
+// endpoints (completion callbacks). No containment tracking is applied;
+// the caller guarantees start <= end within its own stage arithmetic.
+// Safe on nil; a zero id is a no-op.
+func (t *Tracer) Emit(track, cat, name string, id, start, end, arg uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	if end < start {
+		t.violations++
+		end = start
+	}
+	t.push(Event{Track: track, Cat: cat, Name: name, ID: id, Start: start, End: end, Arg: arg})
+}
+
+// EmitOverlap records a complete resource-occupancy interval tied to request
+// id: sampled out (id 0) means no-op, like Emit, but the event is marked
+// Overlap because many such intervals per access may coexist on one track
+// (per-block MC transactions, pipelined link packets) and must not be held
+// to the lifecycle-span nesting invariant. Safe on nil.
+func (t *Tracer) EmitOverlap(track, cat, name string, id, start, end, arg uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	if end < start {
+		t.violations++
+		end = start
+	}
+	t.push(Event{Track: track, Cat: cat, Name: name, ID: id, Start: start, End: end, Arg: arg, Overlap: true})
+}
+
+// EmitUnkeyed records a complete span with no request ID, for background
+// activity not tied to any access (DRAM refresh windows). Unkeyed spans are
+// exempt from the per-ID nesting checks — concurrent refreshes on different
+// ranks legitimately overlap on one track. Safe on nil.
+func (t *Tracer) EmitUnkeyed(track, cat, name string, start, end, arg uint64) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		t.violations++
+		end = start
+	}
+	t.push(Event{Track: track, Cat: cat, Name: name, Start: start, End: end, Arg: arg})
+}
+
+// push appends to the ring, evicting the oldest event once full.
+func (t *Tracer) push(ev Event) {
+	if !t.full {
+		t.events = append(t.events, ev)
+		if len(t.events) == t.cfg.Limit {
+			t.full = true
+		}
+		return
+	}
+	t.events[t.head] = ev
+	t.head = (t.head + 1) % len(t.events)
+	t.dropped++
+}
+
+// CloseOpen force-ends every still-open span at now, keeping begin/end
+// balanced when the run stops mid-access. Safe on nil.
+func (t *Tracer) CloseOpen(now uint64) {
+	if t == nil {
+		return
+	}
+	// End children before parents so containment bookkeeping holds:
+	// later-opened spans are nested deeper, and End swap-removes, so walk
+	// by descending Start with a snapshot.
+	snap := make([]*Span, len(t.open))
+	copy(snap, t.open)
+	sort.SliceStable(snap, func(i, j int) bool { return snap[i].ev.Start > snap[j].ev.Start })
+	for _, s := range snap {
+		s.End(now)
+	}
+}
+
+// Trace is the finished, immutable result attached to run results.
+type Trace struct {
+	Events     []Event // completed spans in ring order (oldest first)
+	Dropped    uint64  // events evicted by the ring bound
+	Violations uint64  // invariant breaches observed while recording
+	Report     Report  // per-stage latency attribution
+	Top        []TopAccess
+}
+
+// Finish snapshots the tracer into an immutable Trace. Safe on nil (returns
+// nil). Open spans must be closed first (see CloseOpen); any still open are
+// counted as violations and discarded.
+func (t *Tracer) Finish() *Trace {
+	if t == nil {
+		return nil
+	}
+	t.violations += uint64(len(t.open))
+	t.open = nil
+	var events []Event
+	if t.full {
+		events = make([]Event, 0, len(t.events))
+		events = append(events, t.events[t.head:]...)
+		events = append(events, t.events[:t.head]...)
+	} else {
+		events = append(events, t.events...)
+	}
+	top := make([]TopAccess, len(t.top))
+	copy(top, t.top)
+	// t.top is kept ascending for cheap replacement; report slowest first.
+	for i, j := 0, len(top)-1; i < j; i, j = i+1, j-1 {
+		top[i], top[j] = top[j], top[i]
+	}
+	return &Trace{
+		Events:     events,
+		Dropped:    t.dropped,
+		Violations: t.violations,
+		Report:     t.report(),
+		Top:        top,
+	}
+}
+
+// Validate checks the invariants a finished trace must satisfy: no recorded
+// violations, every span closed (End >= Start), and per-ID containment.
+// Returns nil on a nil trace.
+func (tr *Trace) Validate() error {
+	if tr == nil {
+		return nil
+	}
+	if tr.Violations != 0 {
+		return errorf("trace recorded %d invariant violations", tr.Violations)
+	}
+	for i, ev := range tr.Events {
+		if ev.End < ev.Start {
+			return errorf("event %d (%s/%s): end %d < start %d", i, ev.Track, ev.Name, ev.End, ev.Start)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package evtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if id := tr.AccessID(); id != 0 {
+		t.Fatalf("nil AccessID = %d", id)
+	}
+	if id := tr.RequestID(); id != 0 {
+		t.Fatalf("nil RequestID = %d", id)
+	}
+	s := tr.Begin("a", "oram", "x", 1, 0)
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// All span methods must be no-ops on nil.
+	s.SetArg(7)
+	c := s.Child("a", "y", 1)
+	c.End(2)
+	s.End(3)
+	tr.Emit("a", "oram", "z", 1, 0, 5, 0)
+	tr.RecordStages(KindOram, 1, 0, 10, Stage{"s", 10})
+	tr.CloseOpen(9)
+	if tr.Finish() != nil {
+		t.Fatal("nil Finish returned trace")
+	}
+}
+
+func TestZeroIDEmitsNothing(t *testing.T) {
+	tr := New(Config{})
+	if s := tr.Begin("a", "oram", "x", 0, 0); s != nil {
+		t.Fatal("id 0 produced a span")
+	}
+	tr.Emit("a", "oram", "x", 0, 0, 5, 0)
+	trace := tr.Finish()
+	if len(trace.Events) != 0 {
+		t.Fatalf("events = %d, want 0", len(trace.Events))
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New(Config{})
+	root := tr.Begin("sapp0", "oram", "access", 1, 100)
+	c1 := root.Child("sapp0", "read_phase", 100)
+	c1.End(180)
+	c2 := root.Child("sapp0", "respond", 180)
+	c2.SetArg(72)
+	c2.End(200)
+	root.End(200)
+	trace := tr.Finish()
+	if trace.Violations != 0 {
+		t.Fatalf("violations = %d", trace.Violations)
+	}
+	if len(trace.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(trace.Events))
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainmentViolationsCounted(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(tr *Tracer)
+	}{
+		{"child starts before parent", func(tr *Tracer) {
+			r := tr.Begin("a", "oram", "p", 1, 100)
+			c := r.Child("a", "c", 50)
+			c.End(150)
+			r.End(150)
+		}},
+		{"span ends before start", func(tr *Tracer) {
+			r := tr.Begin("a", "oram", "p", 1, 100)
+			r.End(50)
+		}},
+		{"parent ends before child", func(tr *Tracer) {
+			r := tr.Begin("a", "oram", "p", 1, 100)
+			c := r.Child("a", "c", 120)
+			c.End(200)
+			r.End(150)
+		}},
+		{"emit end before start", func(tr *Tracer) {
+			tr.Emit("a", "oram", "x", 1, 100, 50, 0)
+		}},
+		{"left open at finish", func(tr *Tracer) {
+			tr.Begin("a", "oram", "p", 1, 100)
+		}},
+	}
+	for _, tc := range cases {
+		tr := New(Config{})
+		tc.run(tr)
+		trace := tr.Finish()
+		if trace.Violations == 0 {
+			t.Errorf("%s: violation not counted", tc.name)
+		}
+		if trace.Validate() == nil {
+			t.Errorf("%s: Validate accepted violating trace", tc.name)
+		}
+		// Clamping must still keep every recorded event well-formed.
+		for _, ev := range trace.Events {
+			if ev.End < ev.Start {
+				t.Errorf("%s: clamping failed: [%d,%d)", tc.name, ev.Start, ev.End)
+			}
+		}
+	}
+}
+
+func TestCloseOpenBalances(t *testing.T) {
+	tr := New(Config{})
+	r := tr.Begin("a", "oram", "p", 1, 10)
+	r.Child("a", "c", 20) // left open deliberately
+	tr.Begin("b", "ns", "q", 2, 15)
+	tr.CloseOpen(99)
+	trace := tr.Finish()
+	if trace.Violations != 0 {
+		t.Fatalf("violations = %d after CloseOpen", trace.Violations)
+	}
+	if len(trace.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(trace.Events))
+	}
+	for _, ev := range trace.Events {
+		if ev.End != 99 {
+			t.Fatalf("span %s not closed at 99: %d", ev.Name, ev.End)
+		}
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	tr := New(Config{Limit: 4})
+	for i := uint64(1); i <= 10; i++ {
+		tr.Emit("a", "oram", "x", i, i*10, i*10+5, 0)
+	}
+	trace := tr.Finish()
+	if len(trace.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(trace.Events))
+	}
+	if trace.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", trace.Dropped)
+	}
+	// Oldest-first ring order: the survivors are events 7..10.
+	for i, ev := range trace.Events {
+		if want := uint64(7 + i); ev.ID != want {
+			t.Fatalf("event %d id = %d, want %d", i, ev.ID, want)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Config{Sample: 3})
+	var nonzero int
+	for i := 0; i < 9; i++ {
+		if tr.AccessID() != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 3 {
+		t.Fatalf("sampled %d of 9, want 3", nonzero)
+	}
+	// First access always samples, so single-access runs trace.
+	tr2 := New(Config{Sample: 1000})
+	if tr2.AccessID() == 0 {
+		t.Fatal("first access sampled out")
+	}
+}
+
+func TestOramOnlySuppressesRequestIDs(t *testing.T) {
+	tr := New(Config{OramOnly: true})
+	if id := tr.RequestID(); id != 0 {
+		t.Fatalf("OramOnly RequestID = %d", id)
+	}
+	if id := tr.AccessID(); id == 0 {
+		t.Fatal("OramOnly suppressed AccessID")
+	}
+}
+
+func TestRecordStagesReport(t *testing.T) {
+	tr := New(Config{})
+	tr.RecordStages(KindOram, 1, 0, 100,
+		Stage{"read_phase", 60}, Stage{"respond", 40})
+	tr.RecordStages(KindOram, 2, 50, 200,
+		Stage{"read_phase", 150}, Stage{"respond", 50})
+	tr.RecordStages(KindNSRead, 0, 0, 30, Stage{"mc_queue", 10}, Stage{"dram", 20})
+	trace := tr.Finish()
+	if trace.Violations != 0 {
+		t.Fatalf("violations = %d", trace.Violations)
+	}
+	if len(trace.Report.Kinds) != 2 {
+		t.Fatalf("kinds = %d, want 2", len(trace.Report.Kinds))
+	}
+	oram := trace.Report.Kinds[0]
+	if oram.Kind != KindOram || oram.Total.Count != 2 || oram.Total.Mean != 150 {
+		t.Fatalf("oram total: %+v", oram.Total)
+	}
+	// Stage means sum to the end-to-end mean exactly (telescoping stages).
+	var sum float64
+	for _, st := range oram.Stages {
+		sum += st.Mean
+	}
+	if sum != oram.Total.Mean {
+		t.Fatalf("stage means sum %v != total mean %v", sum, oram.Total.Mean)
+	}
+	if oram.Stages[0].Stage != "read_phase" || oram.Stages[1].Stage != "respond" {
+		t.Fatalf("stage order: %+v", oram.Stages)
+	}
+}
+
+func TestRecordStagesSumMismatchIsViolation(t *testing.T) {
+	tr := New(Config{})
+	tr.RecordStages(KindOram, 1, 0, 100, Stage{"a", 60}) // 60 != 100
+	trace := tr.Finish()
+	if trace.Violations == 0 {
+		t.Fatal("stage-sum mismatch not counted")
+	}
+}
+
+func TestTopKSlowest(t *testing.T) {
+	tr := New(Config{TopK: 3})
+	totals := []uint64{50, 300, 10, 200, 400, 100}
+	for i, tot := range totals {
+		tr.RecordStages(KindOram, uint64(i+1), uint64(i), tot, Stage{"s", tot})
+	}
+	trace := tr.Finish()
+	if len(trace.Top) != 3 {
+		t.Fatalf("top = %d entries, want 3", len(trace.Top))
+	}
+	want := []uint64{400, 300, 200} // slowest first
+	for i, w := range want {
+		if trace.Top[i].Total != w {
+			t.Fatalf("top[%d] = %d, want %d", i, trace.Top[i].Total, w)
+		}
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := New(Config{})
+	root := tr.Begin("sapp0", "oram", "access", 1, 100)
+	root.Child("sapp0", "read_phase", 100).End(180)
+	root.End(200)
+	tr.Emit("chan0.link.down", "link", "packet", 1, 100, 118, 72)
+	trace := tr.Finish()
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"traceEvents"`) {
+		t.Fatal("missing traceEvents wrapper")
+	}
+	if !strings.Contains(out, `"thread_name"`) {
+		t.Fatal("missing track metadata")
+	}
+	if err := ValidateChromeJSON(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validator: %v", err)
+	}
+	// Deterministic output: a second export is byte-identical.
+	var buf2 bytes.Buffer
+	if err := trace.WriteChrome(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("export not deterministic")
+	}
+}
+
+func TestWriteChromeNilTrace(t *testing.T) {
+	var trace *Trace
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeJSON(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateChromeJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", `{"traceEvents": [`},
+		{"bad phase", `{"traceEvents":[{"ph":"B","pid":0,"tid":1,"name":"x","ts":1}]}`},
+		{"missing dur", `{"traceEvents":[{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"a"}},{"ph":"X","pid":0,"tid":1,"name":"x","ts":1}]}`},
+		{"unnamed tid", `{"traceEvents":[{"ph":"X","pid":0,"tid":1,"name":"x","ts":1,"dur":2}]}`},
+		{"time goes backward", `{"traceEvents":[{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"a"}},{"ph":"X","pid":0,"tid":1,"name":"x","ts":10,"dur":2},{"ph":"X","pid":0,"tid":1,"name":"y","ts":5,"dur":2}]}`},
+		{"same-id overlap", `{"traceEvents":[{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"a"}},{"ph":"X","pid":0,"tid":1,"name":"p","ts":0,"dur":10,"args":{"id":1}},{"ph":"X","pid":0,"tid":1,"name":"c","ts":5,"dur":10,"args":{"id":1}}]}`},
+	}
+	for _, tc := range cases {
+		if err := ValidateChromeJSON([]byte(tc.data)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Different-ID overlap on one track is legitimate (interleaved requests).
+	ok := `{"traceEvents":[{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"a"}},{"ph":"X","pid":0,"tid":1,"name":"p","ts":0,"dur":10,"args":{"id":1}},{"ph":"X","pid":0,"tid":1,"name":"q","ts":5,"dur":10,"args":{"id":2}}]}`
+	if err := ValidateChromeJSON([]byte(ok)); err != nil {
+		t.Errorf("different-id overlap rejected: %v", err)
+	}
+}

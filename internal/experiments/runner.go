@@ -30,7 +30,19 @@ type Options struct {
 	// MetricsEpochCycles overrides the timeline sampling period; 0 uses
 	// core.DefaultMetricsEpochCycles.
 	MetricsEpochCycles uint64
+
+	// TraceDir, when set, enables per-access event tracing on every run of
+	// the sweep (ORAM spans only, sampled every 16th access to keep files
+	// small; latency breakdowns still cover every access) and writes each
+	// run's Chrome trace JSON to
+	// "<TraceDir>/run<NNN>_<scheme>_<bench>.trace.json".
+	TraceDir string
 }
+
+// sweepTraceSample is the event-ring sampling stride sweeps use: one traced
+// ORAM access in 16 keeps per-run trace files small while every access
+// still lands in the attribution histograms.
+const sweepTraceSample = 16
 
 // DefaultOptions returns the evaluation defaults: every Table III
 // benchmark at a trace length long enough for steady-state queues.
@@ -68,6 +80,11 @@ func (o Options) apply(cfg core.Config) core.Config {
 		if cfg.MetricsEpochCycles == 0 {
 			cfg.MetricsEpochCycles = core.DefaultMetricsEpochCycles
 		}
+	}
+	if o.TraceDir != "" {
+		cfg.TraceEvents = true
+		cfg.TraceSample = sweepTraceSample
+		cfg.TraceOramOnly = true
 	}
 	return cfg
 }
@@ -111,6 +128,11 @@ func runAll(o Options, cfgs []core.Config) ([]*core.Results, error) {
 			return nil, err
 		}
 	}
+	if o.TraceDir != "" {
+		if err := dumpRunTraces(o.TraceDir, cfgs, results); err != nil {
+			return nil, err
+		}
+	}
 	return results, nil
 }
 
@@ -135,6 +157,33 @@ func dumpRunMetrics(dir string, cfgs []core.Config, results []*core.Results) err
 		}
 		if cerr != nil {
 			return fmt.Errorf("experiments: metrics dump %s: %w", name, cerr)
+		}
+	}
+	return nil
+}
+
+// dumpRunTraces writes each run's event trace as one Chrome JSON file
+// under dir.
+func dumpRunTraces(dir string, cfgs []core.Config, results []*core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	for i, res := range results {
+		if res == nil || res.Trace == nil {
+			continue
+		}
+		name := fmt.Sprintf("run%03d_%s_%s.trace.json", i, cfgs[i].Scheme, cfgs[i].Benchmark)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("experiments: trace dump: %w", err)
+		}
+		werr := res.Trace.WriteChrome(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("experiments: trace dump %s: %w", name, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("experiments: trace dump %s: %w", name, cerr)
 		}
 	}
 	return nil

@@ -13,7 +13,9 @@ import (
 	"fmt"
 
 	"doram/internal/addrmap"
+	"doram/internal/clock"
 	"doram/internal/dram"
+	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/stats"
 )
@@ -43,6 +45,15 @@ type Request struct {
 	Secure bool // issued by an ORAM engine; subject to cooperative sharing
 
 	Arrival uint64 // memory cycle the request entered the queue
+
+	// TraceID ties this request's tracer spans to the access that spawned
+	// it; 0 means unsampled (no spans, but IssuedAt is still stamped).
+	TraceID uint64
+	// IssuedAt is the memory cycle the column command issued, stamped by
+	// the controller so completion callbacks can split queue wait from
+	// device service. Instant completions (read forwarding, write
+	// coalescing) stamp it with the completion cycle: all wait, no service.
+	IssuedAt uint64
 
 	// OnComplete, if non-nil, fires once when the request's data transfer
 	// finishes (reads: last beat received; writes: last beat written to the
@@ -159,6 +170,12 @@ type Controller struct {
 	// delay (memory cycles). nil (the default) costs one nil check per
 	// issued column.
 	queueWait *metrics.Histogram
+
+	// trace is the optional per-request span tracer; nil (the default)
+	// costs one nil check per issued column. track is the timeline row
+	// spans land on, e.g. "chan0.sub1.mc".
+	trace *evtrace.Tracer
+	track string
 }
 
 // New builds a controller over ch.
@@ -204,6 +221,14 @@ func (c *Controller) AttachMetrics(r *metrics.Registry, prefix string) {
 		return 0
 	})
 	c.queueWait = r.Histogram(prefix+"queue_wait", []uint64{4, 8, 16, 32, 64, 128, 256, 512})
+}
+
+// AttachTracer routes per-request spans to t on the given track: a "wait"
+// span covering queue residency and a service span covering the data
+// transfer, both in CPU cycles, for every sampled request. No-op on nil.
+func (c *Controller) AttachTracer(t *evtrace.Tracer, track string) {
+	c.trace = t
+	c.track = track
 }
 
 // Idle reports whether the controller holds no queued or in-flight work.
@@ -256,6 +281,12 @@ func (c *Controller) Enqueue(r *Request, now uint64) bool {
 
 // complete fires the completion callback and counts the request.
 func (c *Controller) complete(r *Request, done uint64) {
+	if r.IssuedAt == 0 {
+		// Instant completion (forwarded read / coalesced write) or a
+		// column issued at memory cycle 0: attribute the whole interval
+		// to queueing so stage breakdowns still telescope.
+		r.IssuedAt = done
+	}
 	if r.Op == OpRead {
 		c.stats.ReadsDone.Inc()
 	} else {
@@ -537,6 +568,17 @@ func (c *Controller) issueColumn(r *Request, col dram.Command, now uint64) {
 	done := c.ch.Issue(col, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
 	c.stats.RowHits.Inc()
 	c.queueWait.Observe(now - r.Arrival)
+	r.IssuedAt = now
+	if c.trace != nil && r.TraceID != 0 {
+		cat := "ns"
+		if r.Secure {
+			cat = "oram"
+		}
+		c.trace.EmitOverlap(c.track, cat, "wait", r.TraceID,
+			clock.ToCPU(r.Arrival), clock.ToCPU(now), 0)
+		c.trace.EmitOverlap(c.track, cat, r.Op.String(), r.TraceID,
+			clock.ToCPU(now), clock.ToCPU(done), 0)
+	}
 	c.chargeIssue(r)
 	c.removeFromQueue(r)
 	c.inflight = append(c.inflight, pendingDone{req: r, done: done})

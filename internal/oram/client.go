@@ -3,6 +3,7 @@ package oram
 import (
 	"fmt"
 
+	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/xrand"
 )
@@ -61,6 +62,15 @@ type Client struct {
 	rng *xrand.Rand
 
 	accesses uint64
+
+	// trace records per-access phase spans; nil (the default) costs one
+	// nil check per access. The functional client has no cycle clock, so
+	// spans advance opClock, a logical operation counter, one tick per
+	// phase boundary — ordering and containment hold, durations are
+	// operation counts, not cycles.
+	trace   *evtrace.Tracer
+	track   string
+	opClock uint64
 }
 
 // NewClient builds a functional Path ORAM over store with a dense, trusted
@@ -131,6 +141,32 @@ func (c *Client) AttachMetrics(r *metrics.Registry, prefix string) {
 	r.CounterFunc(prefix+"accesses", func() uint64 { return c.accesses })
 }
 
+// AttachTracer routes per-access protocol-phase spans to t on the given
+// track. Timestamps are logical operation counts (see opClock), so these
+// spans order and nest correctly but are not cycle-comparable with the
+// timing simulator's tracks. No-op fields on nil.
+func (c *Client) AttachTracer(t *evtrace.Tracer, track string) {
+	c.trace = t
+	c.track = track
+}
+
+// opTick advances the logical clock one step; only called on traced paths.
+func (c *Client) opTick() uint64 {
+	c.opClock++
+	return c.opClock
+}
+
+// emitAccess emits the root access span plus its protocol-phase children
+// from the boundary timestamps collected during Access.
+func (c *Client) emitAccess(id uint64, m *[7]uint64) {
+	names := [...]string{"pressure_relief", "position_lookup", "path_read",
+		"stash_serve", "writeback", "bg_evict"}
+	c.trace.Emit(c.track, "oram", "access", id, m[0], m[6], 0)
+	for i, name := range names {
+		c.trace.Emit(c.track, "oram", name, id, m[i], m[i+1], 0)
+	}
+}
+
 // PositionOf exposes the current leaf of addr for invariant tests.
 func (c *Client) PositionOf(addr uint64) uint64 { return c.pos.Get(addr) }
 
@@ -145,18 +181,34 @@ func (c *Client) Access(op Op, addr uint64, data []byte) ([]byte, Trace, error) 
 	if len(data) > c.p.BlockSize {
 		return nil, Trace{}, fmt.Errorf("oram: data %d bytes exceeds block size %d", len(data), c.p.BlockSize)
 	}
+	traced := c.trace != nil
+	var id uint64
+	var marks [7]uint64
+	if traced {
+		id = c.trace.AccessID()
+		marks[0] = c.opTick()
+	}
 	if err := c.relieveStashPressure(); err != nil {
 		return nil, Trace{}, err
+	}
+	if traced {
+		marks[1] = c.opTick()
 	}
 	leaf := c.pos.Get(addr)
 	if leaf == InvalidPath {
 		leaf = c.rng.Uint64n(c.p.NumLeaves())
 		c.pos.Set(addr, leaf)
 	}
+	if traced {
+		marks[2] = c.opTick()
+	}
 
 	tr, err := c.readPath(leaf)
 	if err != nil {
 		return nil, Trace{}, err
+	}
+	if traced {
+		marks[3] = c.opTick()
 	}
 
 	// Serve the request from the stash (the path read moved the block there
@@ -181,12 +233,22 @@ func (c *Client) Access(op Op, addr uint64, data []byte) ([]byte, Trace, error) 
 	c.pos.Set(addr, newLeaf)
 	b.Leaf = newLeaf
 
+	if traced {
+		marks[4] = c.opTick()
+	}
 	if err := c.writePath(leaf, &tr); err != nil {
 		return nil, Trace{}, err
+	}
+	if traced {
+		marks[5] = c.opTick()
 	}
 	c.accesses++
 	if err := c.backgroundEvict(); err != nil {
 		return nil, Trace{}, err
+	}
+	if traced {
+		marks[6] = c.opTick()
+		c.emitAccess(id, &marks)
 	}
 	return out, tr, nil
 }

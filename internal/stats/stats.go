@@ -179,6 +179,61 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.lat.max
 }
 
+// Summary is a one-call digest of a histogram: scalar mean plus the
+// bucket-bound percentiles most reports want. Percentile semantics match
+// Histogram.Percentile exactly (upper bounds; overflow reports the max).
+type Summary struct {
+	Count uint64
+	Mean  float64
+	P50   uint64
+	P95   uint64
+	P99   uint64
+}
+
+// Summary computes {count, mean, p50, p95, p99} in a single pass over the
+// buckets, equivalent to (but cheaper than) three Percentile calls.
+func (h *Histogram) Summary() Summary {
+	s := Summary{Count: h.lat.count, Mean: h.lat.Mean()}
+	if h.lat.count == 0 {
+		return s
+	}
+	target := func(p float64) uint64 {
+		t := uint64(math.Ceil(p / 100 * float64(h.lat.count)))
+		if t == 0 {
+			t = 1
+		}
+		return t
+	}
+	t50, t95, t99 := target(50), target(95), target(99)
+	value := func(i int) uint64 {
+		if i == len(h.bounds) {
+			return h.lat.max
+		}
+		return h.bounds[i]
+	}
+	var cum uint64
+	done := 0
+	for i, c := range h.counts {
+		cum += c
+		if done < 1 && cum >= t50 {
+			s.P50 = value(i)
+			done = 1
+		}
+		if done < 2 && cum >= t95 {
+			s.P95 = value(i)
+			done = 2
+		}
+		if done < 3 && cum >= t99 {
+			s.P99 = value(i)
+			done = 3
+		}
+		if done == 3 {
+			break
+		}
+	}
+	return s
+}
+
 // Utilization tracks how many cycles a resource was busy out of a window.
 type Utilization struct {
 	busy  uint64

@@ -123,6 +123,65 @@ func TestHistogramPercentileTable(t *testing.T) {
 	}
 }
 
+func TestHistogramSummaryTable(t *testing.T) {
+	multi := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 99, 5000} {
+		multi.Observe(v)
+	}
+	single := NewHistogram([]uint64{10, 100})
+	single.Observe(42)
+	overflow := NewHistogram([]uint64{10})
+	for _, v := range []uint64{500, 900} {
+		overflow.Observe(v)
+	}
+	uniform := NewHistogram([]uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for v := uint64(1); v <= 100; v++ {
+		uniform.Observe(v % 10)
+	}
+	empty := NewHistogram([]uint64{10})
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		want Summary
+	}{
+		{"multi-bucket", multi, Summary{Count: 5, Mean: 1025, P50: 100, P95: 5000, P99: 5000}},
+		{"single sample", single, Summary{Count: 1, Mean: 42, P50: 100, P95: 100, P99: 100}},
+		{"overflow only", overflow, Summary{Count: 2, Mean: 700, P50: 900, P95: 900, P99: 900}},
+		{"uniform 0..9", uniform, Summary{Count: 100, Mean: 4.5, P50: 4, P95: 9, P99: 9}},
+		{"empty", empty, Summary{}},
+	}
+	for _, tc := range cases {
+		got := tc.h.Summary()
+		if got != tc.want {
+			t.Errorf("%s: Summary() = %+v, want %+v", tc.name, got, tc.want)
+		}
+		// Consistency with the one-at-a-time Percentile path.
+		if got.P50 != tc.h.Percentile(50) || got.P95 != tc.h.Percentile(95) || got.P99 != tc.h.Percentile(99) {
+			t.Errorf("%s: Summary disagrees with Percentile: %+v", tc.name, got)
+		}
+	}
+}
+
+func TestPropertySummaryMatchesPercentile(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram([]uint64{100, 1000, 10000})
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		s := h.Summary()
+		lat := h.Latency()
+		return s.Count == uint64(len(vals)) &&
+			s.P50 == h.Percentile(50) &&
+			s.P95 == h.Percentile(95) &&
+			s.P99 == h.Percentile(99) &&
+			s.Mean == lat.Mean()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHistogramBoundsCopy(t *testing.T) {
 	h := NewHistogram([]uint64{10, 100})
 	b := h.Bounds()

@@ -5,6 +5,7 @@ import (
 
 	"doram/internal/clock"
 	"doram/internal/core"
+	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/trace"
 )
@@ -106,6 +107,26 @@ type SimConfig struct {
 	// MetricsEpochCycles is the timeline sampling period in CPU cycles;
 	// 0 uses DefaultMetricsEpochCycles. Setting it implies Metrics.
 	MetricsEpochCycles uint64
+
+	// Trace enables per-access event tracing: nested spans across the
+	// engine, delegator, links, memory controllers and NS request paths,
+	// returned in SimResult.Trace together with the per-stage latency
+	// attribution (SimResult.LatencyBreakdown). Off by default; disabled
+	// runs pay at most a nil check per instrumentation point.
+	Trace bool
+	// TraceEventLimit bounds retained span events (ring buffer, oldest
+	// evicted first); 0 uses the evtrace default (200k). Implies Trace.
+	TraceEventLimit int
+	// TraceSample keeps every Nth ORAM access / NS request in the event
+	// ring (0 or 1 = all); the attribution report always covers every
+	// access. Values > 1 imply Trace.
+	TraceSample uint64
+	// TraceOramOnly suppresses NS-request spans, keeping sweep traces
+	// small; NS latency breakdowns are still recorded. Implies Trace.
+	TraceOramOnly bool
+	// TraceTopN sizes the slowest-ORAM-accesses report in the trace
+	// (0 = 16). Implies Trace.
+	TraceTopN int
 }
 
 // DefaultMetricsEpochCycles is the default timeline sampling period.
@@ -117,6 +138,16 @@ type MetricsDump = metrics.Dump
 
 // MetricsTimeline is the epoch-sampled series record of a run.
 type MetricsTimeline = metrics.Timeline
+
+// EventTrace is a run's per-access span record: events, drop/violation
+// counters, the attribution report and the slowest accesses. Export it
+// with WriteChrome for Perfetto / chrome://tracing.
+type EventTrace = evtrace.Trace
+
+// TraceReport is the per-stage latency-attribution report: for each
+// request kind (oram, ns_read, ns_write), mean/p50/p95/p99 per stage,
+// with stage means summing to the end-to-end mean.
+type TraceReport = evtrace.Report
 
 // DefaultSimConfig returns the paper's 1S7NS co-run for the scheme.
 func DefaultSimConfig(scheme Scheme, benchmark string) SimConfig {
@@ -165,6 +196,11 @@ type SimResult struct {
 	// the same object as Metrics.Timeline).
 	Metrics  *MetricsDump     `json:",omitempty"`
 	Timeline *MetricsTimeline `json:"-"`
+	// Trace is the per-access event trace (nil unless SimConfig.Trace was
+	// set). Excluded from the result JSON — export it with WriteChrome.
+	// LatencyBreakdown is its attribution report, inlined for convenience.
+	Trace            *EventTrace  `json:"-"`
+	LatencyBreakdown *TraceReport `json:",omitempty"`
 }
 
 // LinkFaultSummary aggregates the BOB links' unreliability counters.
@@ -211,6 +247,13 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 			ic.MetricsEpochCycles = DefaultMetricsEpochCycles
 		}
 	}
+	if cfg.Trace || cfg.TraceEventLimit != 0 || cfg.TraceSample > 1 || cfg.TraceOramOnly || cfg.TraceTopN != 0 {
+		ic.TraceEvents = true
+		ic.TraceLimit = cfg.TraceEventLimit
+		ic.TraceSample = cfg.TraceSample
+		ic.TraceOramOnly = cfg.TraceOramOnly
+		ic.TraceTopK = cfg.TraceTopN
+	}
 	sys, err := core.NewSystem(ic)
 	if err != nil {
 		return nil, err
@@ -228,6 +271,10 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		ChannelDataBusBusy: res.ChannelDataBusBusy[:],
 		Metrics:            res.Metrics,
 		Timeline:           res.Timeline,
+	}
+	if res.Trace != nil {
+		out.Trace = res.Trace
+		out.LatencyBreakdown = &res.Trace.Report
 	}
 	if res.NSReadHist != nil {
 		out.NSReadP50Ns = clock.CPUToNanos(res.NSReadHist.Percentile(50))
@@ -251,3 +298,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 
 // Benchmarks returns the 15 Table III benchmark names.
 func Benchmarks() []string { return trace.Names() }
+
+// ValidateChromeTrace checks an exported Chrome trace-event JSON document
+// for well-formedness and span-nesting invariants — the CI gate over
+// WriteChrome output.
+func ValidateChromeTrace(data []byte) error { return evtrace.ValidateChromeJSON(data) }
