@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"doram/internal/addrmap"
+	"doram/internal/core"
 	"doram/internal/dram"
 	"doram/internal/experiments"
 	"doram/internal/mc"
@@ -179,6 +180,42 @@ func BenchmarkSimulateDORAMTrace(b *testing.B) {
 		}
 	}
 }
+
+// idleHeavyConfig is the fast-forward showcase workload: one S-App, no
+// NS-Apps, widely spaced ORAM requests (Pace=4000 CPU cycles between
+// response and next issue), so the vast majority of cycles are idle waits
+// the event-horizon scheduler can jump over. Results are recorded in
+// BENCH_fastforward.json and guarded by TestFastForwardSpeedupGuard.
+func idleHeavyConfig() core.Config {
+	cfg := core.DefaultConfig(core.DORAM, "libq")
+	cfg.NumNS = 0
+	cfg.TraceLen = 2000
+	cfg.Pace = 4000
+	return cfg
+}
+
+func runIdleHeavy(b *testing.B, noFF bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := idleHeavyConfig()
+		cfg.NoFastForward = noFF
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFastForwardIdleHeavy measures the event-horizon scheduler on
+// the idle-heavy workload; the ratio against BenchmarkRunEveryCycleIdleHeavy
+// is the fast-forward speedup (≥2x on this workload).
+func BenchmarkRunFastForwardIdleHeavy(b *testing.B) { runIdleHeavy(b, false) }
+
+// BenchmarkRunEveryCycleIdleHeavy is the cycle-by-cycle reference loop on
+// the same workload.
+func BenchmarkRunEveryCycleIdleHeavy(b *testing.B) { runIdleHeavy(b, true) }
 
 // BenchmarkRingORAMAccess measures one Ring ORAM access (single-slot
 // online reads plus amortized eviction) for comparison with

@@ -37,6 +37,7 @@ func main() {
 		channels = flag.String("channels", "", "NS channel subset, e.g. 1,2,3")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		traceDir = flag.String("tracedir", "", "replay recorded traces from this directory (tracegen -o)")
+		noFF     = flag.Bool("no-fast-forward", false, "visit every CPU cycle instead of fast-forwarding idle gaps (results are bit-identical either way)")
 
 		chaos       = flag.Bool("chaos", false, "run a seeded fault-injection campaign against the functional ORAM and print a detection/recovery report")
 		linkCorrupt = flag.Float64("link-corrupt", 0, "per-attempt BOB link frame corruption probability (d-oram)")
@@ -82,6 +83,7 @@ func main() {
 	cfg.TraceLen = *traceLen
 	cfg.Seed = *seed
 	cfg.TraceDir = *traceDir
+	cfg.NoFastForward = *noFF
 	cfg.LinkCorruptProb = *linkCorrupt
 	cfg.LinkLossProb = *linkLoss
 	cfg.Metrics = *metricsOn || *metricsJSON != "" || *metricsCSV != ""

@@ -1,0 +1,315 @@
+package doram
+
+// Differential test harness for the fast-forward scheduler: every
+// configuration is run twice — once with the event-horizon loop (the
+// default) and once with the cycle-by-cycle reference loop — and the two
+// runs must be bit-identical in every observable: the full Results struct
+// (cycle counts, latency statistics, energy, link faults), the metrics
+// registry dump and sampled timeline, and the exported Chrome trace bytes.
+// Any divergence means a NextEvent method under-reported an event or a
+// Skip compensation miscounted, so failures here name the first differing
+// field rather than just "mismatch".
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"doram/internal/core"
+)
+
+// runPair executes cfg under both loops and returns (fastForward, naive).
+func runPair(t *testing.T, cfg core.Config) (*core.Results, *core.Results) {
+	t.Helper()
+	run := func(noFF bool) *core.Results {
+		c := cfg
+		c.NoFastForward = noFF
+		sys, err := core.NewSystem(c)
+		if err != nil {
+			t.Fatalf("NewSystem(%+v): %v", c, err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatalf("Run (noFF=%v): %v", noFF, err)
+		}
+		return res
+	}
+	return run(false), run(true)
+}
+
+// diffResults compares two Results field by field and returns the name of
+// the first differing field, or "" when identical. The Config field is
+// compared with NoFastForward normalized — it is the one input allowed to
+// differ.
+func diffResults(ff, naive *core.Results) string {
+	a, b := *ff, *naive
+	a.Config.NoFastForward = false
+	b.Config.NoFastForward = false
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+			return va.Type().Field(i).Name
+		}
+	}
+	return ""
+}
+
+// assertIdentical fails the test naming the first divergent observable.
+func assertIdentical(t *testing.T, cfg core.Config, ff, naive *core.Results) {
+	t.Helper()
+	if ff.Cycles != naive.Cycles {
+		t.Fatalf("cycle count diverged: fast-forward=%d naive=%d (cfg %+v)",
+			ff.Cycles, naive.Cycles, cfg)
+	}
+	if field := diffResults(ff, naive); field != "" {
+		t.Fatalf("Results.%s diverged between fast-forward and naive (cfg %+v)", field, cfg)
+	}
+	if (ff.Trace == nil) != (naive.Trace == nil) {
+		t.Fatalf("trace presence diverged")
+	}
+	if ff.Trace != nil {
+		var fb, nb bytes.Buffer
+		if err := ff.Trace.WriteChrome(&fb); err != nil {
+			t.Fatal(err)
+		}
+		if err := naive.Trace.WriteChrome(&nb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fb.Bytes(), nb.Bytes()) {
+			t.Fatalf("exported Chrome trace bytes diverged (%d vs %d bytes)",
+				fb.Len(), nb.Len())
+		}
+	}
+}
+
+// diffCfg is a compact scheme-by-scheme matrix kept small enough that the
+// naive reference runs stay affordable.
+func diffCfg(scheme core.Scheme, numNS int) core.Config {
+	cfg := core.DefaultConfig(scheme, "libq")
+	cfg.NumNS = numNS
+	cfg.TraceLen = 1200
+	return cfg
+}
+
+func TestDifferentialAllSchemes(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"non-secure", diffCfg(core.NonSecure, 4)},
+		{"path-oram", diffCfg(core.PathORAMBaseline, 2)},
+		{"secure-memory", diffCfg(core.SecureMemory, 2)},
+		{"d-oram", diffCfg(core.DORAM, 3)},
+		{"d-oram-splitk", func() core.Config {
+			cfg := diffCfg(core.DORAM, 2)
+			cfg.SplitK = 2
+			return cfg
+		}()},
+		{"d-oram-sharers", func() core.Config {
+			cfg := diffCfg(core.DORAM, 3)
+			cfg.SecureSharers = 1
+			cfg.NSChannels = []int{0, 1, 2}
+			return cfg
+		}()},
+		{"d-oram-idle-heavy", func() core.Config {
+			cfg := diffCfg(core.DORAM, 0)
+			cfg.Pace = 4000
+			return cfg
+		}()},
+		{"path-oram-idle-heavy", func() core.Config {
+			cfg := diffCfg(core.PathORAMBaseline, 0)
+			cfg.Pace = 4000
+			return cfg
+		}()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			ff, naive := runPair(t, tc.cfg)
+			assertIdentical(t, tc.cfg, ff, naive)
+		})
+	}
+}
+
+// TestDifferentialObservability re-runs the D-ORAM scheme with each
+// observability subsystem enabled: the sampled timeline and the trace ring
+// are exactly the states where elided ticks could leak (a missed Sample
+// boundary, a skipped settle before an epoch, a dropped span).
+func TestDifferentialObservability(t *testing.T) {
+	variants := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"metrics", func(c *core.Config) { c.MetricsEpochCycles = core.DefaultMetricsEpochCycles }},
+		{"metrics-fine-epoch", func(c *core.Config) { c.MetricsEpochCycles = 512 }},
+		{"trace", func(c *core.Config) { c.TraceEvents = true }},
+		{"trace-sampled", func(c *core.Config) {
+			c.TraceEvents = true
+			c.TraceSample = 3
+			c.TraceTopK = 4
+		}},
+		{"metrics-and-trace", func(c *core.Config) {
+			c.MetricsEpochCycles = 1024
+			c.TraceEvents = true
+		}},
+		{"link-faults", func(c *core.Config) {
+			c.LinkCorruptProb = 0.02
+			c.LinkLossProb = 0.01
+			c.MetricsEpochCycles = core.DefaultMetricsEpochCycles
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := diffCfg(core.DORAM, 2)
+			v.mod(&cfg)
+			ff, naive := runPair(t, cfg)
+			assertIdentical(t, cfg, ff, naive)
+		})
+	}
+}
+
+// TestFastForwardSpeedupGuard is the benchmark regression guard: on the
+// idle-heavy workload (one S-App, no NS-Apps, Pace=4000) the event-horizon
+// scheduler must beat the cycle-by-cycle reference loop by at least
+// minSpeedup wall-clock, and the two runs must agree on the cycle count.
+// Locally measured at ~2.4x (recorded in BENCH_fastforward.json); the floor
+// sits below that to absorb runner noise while still catching a real
+// regression of the fast-forward path. Timing assertions are inherently
+// machine-dependent, so the guard only runs when DORAM_SPEEDUP_GUARD is
+// set — CI enables it in the differential job.
+func TestFastForwardSpeedupGuard(t *testing.T) {
+	if os.Getenv("DORAM_SPEEDUP_GUARD") == "" {
+		t.Skip("wall-clock guard; set DORAM_SPEEDUP_GUARD=1 to run")
+	}
+	const minSpeedup = 1.8
+	cfg := core.DefaultConfig(core.DORAM, "libq")
+	cfg.NumNS = 0
+	cfg.TraceLen = 2000
+	cfg.Pace = 4000
+	run := func(noFF bool) (time.Duration, uint64) {
+		best := time.Duration(0)
+		var cycles uint64
+		for i := 0; i < 3; i++ { // min of 3: rejects one-off scheduler hiccups
+			c := cfg
+			c.NoFastForward = noFF
+			sys, err := core.NewSystem(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			res, err := sys.Run()
+			el := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best == 0 || el < best {
+				best = el
+			}
+			cycles = res.Cycles
+		}
+		return best, cycles
+	}
+	ffTime, ffCycles := run(false)
+	naiveTime, naiveCycles := run(true)
+	if ffCycles != naiveCycles {
+		t.Fatalf("cycle count diverged: fast-forward=%d naive=%d", ffCycles, naiveCycles)
+	}
+	speedup := float64(naiveTime) / float64(ffTime)
+	t.Logf("idle-heavy speedup: %.2fx (naive %v, fast-forward %v, %d cycles)",
+		speedup, naiveTime, ffTime, ffCycles)
+	if speedup < minSpeedup {
+		t.Fatalf("fast-forward speedup %.2fx below the %.1fx floor (naive %v, fast-forward %v)",
+			speedup, minSpeedup, naiveTime, ffTime)
+	}
+}
+
+// ffFuzzSeed returns the property-test seed: DORAM_FF_SEED when set (to
+// replay a CI failure locally), else a fixed default so the suite is
+// deterministic run to run.
+func ffFuzzSeed(t *testing.T) int64 {
+	if s := os.Getenv("DORAM_FF_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("DORAM_FF_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 0x0d0e_a41f
+}
+
+// randomConfig draws one simulation config from the generator's support:
+// all four schemes, 0-3 NS-Apps, the k-split and c-limit knobs, both
+// memory generations, pacing from saturated to idle-heavy, and optional
+// observability. Trace lengths stay small so the naive reference runs are
+// affordable.
+func randomConfig(r *rand.Rand) core.Config {
+	schemes := []core.Scheme{core.NonSecure, core.PathORAMBaseline, core.SecureMemory, core.DORAM}
+	scheme := schemes[r.Intn(len(schemes))]
+	benches := []string{"libq", "face", "black"}
+	cfg := core.DefaultConfig(scheme, benches[r.Intn(len(benches))])
+	cfg.NumNS = r.Intn(4)
+	if scheme == core.NonSecure && cfg.NumNS == 0 {
+		cfg.NumNS = 1 // a run needs at least one measured core
+	}
+	cfg.TraceLen = 400 + uint64(r.Intn(5))*150
+	cfg.Seed = r.Uint64()%1000 + 1
+	cfg.Pace = []uint64{50, 400, 4000}[r.Intn(3)]
+	cfg.DDR4 = r.Intn(2) == 0
+	if scheme == core.DORAM {
+		cfg.SplitK = r.Intn(3)
+		if cfg.NumNS > 0 && r.Intn(2) == 0 {
+			cfg.SecureSharers = r.Intn(cfg.NumNS + 1)
+		}
+		if r.Intn(4) == 0 {
+			cfg.LinkCorruptProb = 0.01
+		}
+		cfg.LinkLatencyNs = []float64{0, 10, 25}[r.Intn(3)]
+	}
+	if scheme == core.DORAM || scheme == core.PathORAMBaseline {
+		cfg.OverlapPhases = r.Intn(2) == 0
+		cfg.ForkPath = r.Intn(4) == 0
+	}
+	switch r.Intn(3) {
+	case 0:
+		cfg.MetricsEpochCycles = []uint64{512, 4096}[r.Intn(2)]
+	case 1:
+		cfg.TraceEvents = true
+		cfg.TraceSample = uint64(r.Intn(3)) // 0, 1 or 2
+	}
+	return cfg
+}
+
+// TestDifferentialRandomConfigs is the randomized property test: N
+// generated configs, each run under both loops and compared in full. On
+// failure it logs the generator seed, the case index and the complete
+// failing config as a Go literal, so the case can be replayed with
+// DORAM_FF_SEED (or pasted into a regression test) and shrunk by hand.
+func TestDifferentialRandomConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("naive reference runs are slow; skipped with -short")
+	}
+	seed := ffFuzzSeed(t)
+	r := rand.New(rand.NewSource(seed))
+	const cases = 8
+	for i := 0; i < cases; i++ {
+		cfg := randomConfig(r)
+		name := fmt.Sprintf("case%02d-%v", i, cfg.Scheme)
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if t.Failed() {
+					t.Logf("replay: DORAM_FF_SEED=%d (case %d); failing config:\n%#v", seed, i, cfg)
+				}
+			}()
+			ff, naive := runPair(t, cfg)
+			assertIdentical(t, cfg, ff, naive)
+		})
+	}
+}

@@ -147,6 +147,50 @@ func (s *SimpleController) Tick(cpuNow uint64) {
 	}
 }
 
+// NextEvent reports the earliest CPU cycle strictly after cpuNow at which
+// a Tick can change observable state: the earliest packet arrival in the
+// input queue (already-arrived packets stuck on a full sub-channel queue
+// retry every edge) or the earliest sub-channel controller event, both
+// aligned to memory edges since Tick only runs there. clock.Never when the
+// queue is empty and every sub-channel is drained.
+func (s *SimpleController) NextEvent(cpuNow uint64) uint64 {
+	next := clock.Never
+	floor := clock.AlignMemEdge(cpuNow + 1)
+	for _, a := range s.inQ {
+		t := a.readyAt
+		if t <= cpuNow {
+			t = cpuNow + 1
+		}
+		if t = clock.AlignMemEdge(t); t < next {
+			if t <= floor {
+				return floor
+			}
+			next = t
+		}
+	}
+	memNow := clock.ToMem(cpuNow)
+	for _, sub := range s.subs {
+		if m := sub.NextEvent(memNow); m != clock.Never {
+			if t := clock.ToCPU(m); t < next {
+				if t <= floor {
+					return floor
+				}
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// Skip forwards n elided memory cycles of idle accounting to the
+// sub-channel controllers; the on-board queue itself keeps no per-cycle
+// counters.
+func (s *SimpleController) Skip(n uint64) {
+	for _, sub := range s.subs {
+		sub.Skip(n)
+	}
+}
+
 // forward moves one request into its sub-channel controller.
 func (s *SimpleController) forward(a arrivedReq, memNow uint64) bool {
 	r := a.req

@@ -22,6 +22,23 @@ func ToCPU(mem uint64) uint64 { return mem * CPUPerMem }
 // IsMemEdge reports whether the CPU cycle falls on a memory clock edge.
 func IsMemEdge(cpu uint64) bool { return cpu%CPUPerMem == 0 }
 
+// Never is the NextEvent sentinel for "no self-generated event": the
+// component cannot change state until an external completion wakes it.
+const Never = ^uint64(0)
+
+// AlignMemEdge rounds a CPU-cycle timestamp up to the next memory clock
+// edge (identity on edges). Components ticked only on memory edges see an
+// event scheduled between edges at the following edge, so fast-forward
+// wake-ups must align the same way the per-cycle loop's IsMemEdge gate
+// does. Values within CPUPerMem of the Never sentinel saturate to Never
+// instead of wrapping.
+func AlignMemEdge(cpu uint64) uint64 {
+	if cpu > Never-(CPUPerMem-1) {
+		return Never
+	}
+	return (cpu + CPUPerMem - 1) &^ (CPUPerMem - 1)
+}
+
 // NanosToCPU converts a duration in nanoseconds to CPU cycles (rounded).
 func NanosToCPU(ns float64) uint64 { return uint64(ns*CPUHz/1e9 + 0.5) }
 

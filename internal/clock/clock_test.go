@@ -44,3 +44,40 @@ func TestPropertyMemCPURoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAlignMemEdge(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0}, // edges are fixed points
+		{4, 4},
+		{1, 4}, // interior cycles round up to the next edge
+		{2, 4},
+		{3, 4},
+		{5, 8},
+		{Never, Never},     // sentinel passes through
+		{Never - 1, Never}, // near-sentinel saturates, never wraps
+		// Never = 2^64-1 is 3 mod 4, so Never-3 is the last edge and the
+		// largest input that still aligns instead of saturating.
+		{Never - 3, Never - 3},
+		{Never - 4, Never - 3},
+	}
+	for _, c := range cases {
+		if got := AlignMemEdge(c.in); got != c.want {
+			t.Errorf("AlignMemEdge(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropertyAlignMemEdge(t *testing.T) {
+	f := func(cpu uint64) bool {
+		a := AlignMemEdge(cpu)
+		if a == Never {
+			// Only sentinel-adjacent inputs may saturate.
+			return cpu > Never-CPUPerMem
+		}
+		// Result is an edge, at or after the input, within one mem cycle.
+		return IsMemEdge(a) && a >= cpu && a-cpu < CPUPerMem
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -141,6 +141,13 @@ type Config struct {
 	// D-ORAM buffers instead, §III-B).
 	OverlapPhases bool
 
+	// NoFastForward disables the idle-cycle fast-forward scheduler and runs
+	// the original cycle-by-cycle loop. The zero value (fast-forward on) is
+	// the default; both loops produce bit-identical Results, metrics and
+	// traces — the differential suite enforces it — so this exists as an
+	// escape hatch and as the reference side of that comparison.
+	NoFastForward bool
+
 	// MetricsEpochCycles enables the observability subsystem: every N CPU
 	// cycles the run snapshots per-channel bus utilization, queue depths,
 	// write-drain state, delegator stash occupancy and link fault counters

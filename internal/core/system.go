@@ -57,6 +57,11 @@ type System struct {
 	// trace is the per-access span tracer (nil unless Config.TraceEvents);
 	// every component call through it is nil-safe.
 	trace *evtrace.Tracer
+
+	// sdAllBobs widens the fast-forward loop's SD-event invalidation from
+	// the secure channel to every BOB channel: with tree-top splitting
+	// (SplitK > 0) the SD also enqueues relocated blocks remotely.
+	sdAllBobs bool
 }
 
 // appBase separates per-application address spaces so different apps use
@@ -147,6 +152,8 @@ func NewSystem(cfg Config) (*System, error) {
 			s.chanMappers[c] = addrmap.New(geo, addrmap.OpenPage, []int{0})
 		}
 	}
+
+	s.sdAllBobs = cfg.SplitK > 0
 
 	ts, err := newTraceSource(cfg)
 	if err != nil {
@@ -509,64 +516,399 @@ func (s *System) recordWrite(ch int, lat uint64) {
 	s.res.NSWriteLat.Observe(lat)
 }
 
-// Run executes the simulation until every measured core finishes and
-// returns the results. NS cores are the measured set; with no NS-Apps the
-// S-App core is measured instead.
-func (s *System) Run() (*Results, error) {
-	measured := s.nsCores
-	if len(measured) == 0 {
-		measured = s.sCores
+// runState tracks per-core completion across the run so the loop's
+// done-check is O(1): a counter of unfinished measured cores, decremented
+// the tick a core retires its last instruction, instead of a per-cycle
+// scan over every core. NS cores are the measured set; with no NS-Apps the
+// S-App cores are measured instead.
+type runState struct {
+	nsDone       []bool
+	sDone        []bool
+	measureNS    bool // NS cores are the measured set
+	measuredLeft int
+}
+
+func newRunState(s *System) *runState {
+	st := &runState{
+		nsDone:    make([]bool, len(s.nsCores)),
+		sDone:     make([]bool, len(s.sCores)),
+		measureNS: len(s.nsCores) > 0,
 	}
+	if st.measureNS {
+		st.measuredLeft = len(s.nsCores)
+	} else {
+		st.measuredLeft = len(s.sCores)
+	}
+	// Degenerate traces can produce cores that are born finished.
+	for i, c := range s.nsCores {
+		if c.Done() {
+			st.markNSDone(i)
+		}
+	}
+	for i, c := range s.sCores {
+		if c.Done() {
+			st.markSDone(i)
+		}
+	}
+	return st
+}
+
+func (st *runState) markNSDone(i int) {
+	st.nsDone[i] = true
+	if st.measureNS {
+		st.measuredLeft--
+	}
+}
+
+func (st *runState) markSDone(i int) {
+	st.sDone[i] = true
+	if !st.measureNS {
+		st.measuredLeft--
+	}
+}
+
+// Run executes the simulation until every measured core finishes and
+// returns the results.
+//
+// By default the run fast-forwards: every component exposes NextEvent, the
+// loop jumps the clock straight to the earliest one, and memory-side
+// components are additionally ticked lazily — a controller whose horizon
+// has not arrived is not ticked even on visited edges, with the few
+// per-cycle counters its no-op ticks would have advanced (core retire
+// stalls, MC queue-occupancy integrals, DRAM bus-utilization denominators)
+// compensated in bulk afterwards. Config.NoFastForward reverts to the
+// original cycle-by-cycle loop; both paths are bit-identical in Results,
+// metrics and traces — the differential suite enforces it.
+func (s *System) Run() (*Results, error) {
+	st := newRunState(s)
 	var cyc uint64
-	for ; cyc < s.cfg.MaxCycles; cyc++ {
-		for _, c := range s.nsCores {
-			if !c.Done() {
-				c.Tick(cyc)
-			}
-		}
-		for _, c := range s.sCores {
-			if !c.Done() {
-				c.Tick(cyc)
-			}
-		}
-		for _, e := range s.engines {
-			e.Tick(cyc)
-		}
-		if clock.IsMemEdge(cyc) {
-			for _, sd := range s.sds {
-				sd.Tick(cyc)
-			}
-			for _, oc := range s.onchips {
-				oc.Tick(cyc)
-			}
-			for _, b := range s.bobs {
-				b.Tick(cyc)
-			}
-			memNow := clock.ToMem(cyc)
-			for _, m := range s.directMCs {
-				m.Tick(memNow)
-			}
-		}
-		if s.metricsEpoch != 0 && cyc%s.metricsEpoch == 0 && cyc > 0 {
-			s.metrics.Sample(cyc)
-		}
-		done := true
-		for _, c := range measured {
-			if !c.Done() {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
-		}
+	var lz *memLazy
+	if s.cfg.NoFastForward {
+		cyc = s.runEveryCycle(st)
+	} else {
+		cyc, lz = s.runFastForward(st)
 	}
 	if cyc >= s.cfg.MaxCycles {
 		return nil, fmt.Errorf("core: run exceeded MaxCycles=%d (%s, %s)",
 			s.cfg.MaxCycles, s.cfg.Scheme, s.cfg.Benchmark)
 	}
+	if lz != nil {
+		s.settleMem(cyc, lz)
+	}
 	s.collect(cyc)
 	return s.res, nil
+}
+
+// runEveryCycle is the reference loop: every CPU cycle visited, every
+// component ticked. It returns the finish cycle (== MaxCycles on overrun).
+func (s *System) runEveryCycle(st *runState) uint64 {
+	var cyc uint64
+	for cyc < s.cfg.MaxCycles {
+		s.tickCycle(cyc, clock.IsMemEdge(cyc), st)
+		if s.metricsEpoch != 0 && cyc%s.metricsEpoch == 0 && cyc > 0 {
+			s.metrics.Sample(cyc)
+		}
+		if st.measuredLeft == 0 {
+			break
+		}
+		cyc++
+	}
+	return cyc
+}
+
+// memLazy is the fast-forward loop's per-component memory-side state:
+// cached event horizons (CPU cycles) and the memory cycle count through
+// which each component's per-cycle accounting has been settled, by Tick or
+// by bulk Skip. Indexes parallel s.bobs and s.directMCs.
+type memLazy struct {
+	bobNext []uint64
+	bobSet  []uint64 // mem cycles [0, bobSet) accounted
+	mcNext  []uint64
+	mcSet   []uint64
+	memNext uint64 // global memory-side horizon, min over components
+}
+
+// runFastForward is the event-horizon loop. Invariants:
+//   - a visited cycle ticks CPU components (cores, engines) exactly like
+//     the reference loop;
+//   - a visited memory edge ticks only memory components whose cached
+//     horizon has arrived, unless CPU-side or delegator activity since the
+//     previous visited edge could have enqueued new work anywhere, in
+//     which case all of them tick (and re-cache fresh horizons);
+//   - jumps go to the minimum of the CPU horizon, the memory horizon, the
+//     next metrics sample boundary and MaxCycles; jumps launched off-edge
+//     are clamped to the next edge because off-edge CPU activity can
+//     create memory work the cached horizon does not know about.
+func (s *System) runFastForward(st *runState) (uint64, *memLazy) {
+	lz := &memLazy{
+		bobNext: make([]uint64, len(s.bobs)),
+		bobSet:  make([]uint64, len(s.bobs)),
+		mcNext:  make([]uint64, len(s.directMCs)),
+		mcSet:   make([]uint64, len(s.directMCs)),
+		memNext: clock.Never,
+	}
+	var cyc, cpuHorizon uint64
+	cpuActive := false
+	for cyc < s.cfg.MaxCycles {
+		if cpuHorizon <= cyc {
+			// A core or engine may act this cycle (or already has, at an
+			// earlier cycle since the last edge): memory enqueues possible.
+			cpuActive = true
+		}
+		onEdge := clock.IsMemEdge(cyc)
+		s.tickCPU(cyc, st)
+		if onEdge {
+			s.tickMemLazy(cyc, lz, cpuActive)
+			cpuActive = false
+		}
+		if s.metricsEpoch != 0 && cyc%s.metricsEpoch == 0 && cyc > 0 {
+			s.settleMem(cyc, lz)
+			s.metrics.Sample(cyc)
+		}
+		if st.measuredLeft == 0 {
+			break
+		}
+		cpuHorizon = s.cpuNextEvent(cyc, st)
+		next := cyc + 1
+		if t := cpuHorizon; t > next {
+			m := lz.memNext
+			if !onEdge {
+				m = clock.AlignMemEdge(next)
+			}
+			if m < t {
+				t = m
+			}
+			if s.metricsEpoch != 0 {
+				if b := cyc - cyc%s.metricsEpoch + s.metricsEpoch; b < t {
+					t = b
+				}
+			}
+			if t > s.cfg.MaxCycles {
+				t = s.cfg.MaxCycles
+			}
+			if t > next {
+				s.skipIdleCores(cyc, t, st)
+				next = t
+			}
+		}
+		cyc = next
+	}
+	return cyc, lz
+}
+
+// tickCycle advances every component by one CPU cycle in the fixed order
+// the simulation has always used: cores, engines, then (on memory edges)
+// delegators, BOB controllers and direct controllers.
+func (s *System) tickCycle(cyc uint64, onEdge bool, st *runState) {
+	s.tickCPU(cyc, st)
+	if onEdge {
+		for _, sd := range s.sds {
+			sd.Tick(cyc)
+		}
+		for _, oc := range s.onchips {
+			oc.Tick(cyc)
+		}
+		for _, b := range s.bobs {
+			b.Tick(cyc)
+		}
+		memNow := clock.ToMem(cyc)
+		for _, m := range s.directMCs {
+			m.Tick(memNow)
+		}
+	}
+}
+
+// tickCPU advances the CPU-domain components (cores then engines).
+func (s *System) tickCPU(cyc uint64, st *runState) {
+	for i, c := range s.nsCores {
+		if st.nsDone[i] {
+			continue
+		}
+		c.Tick(cyc)
+		if c.Done() {
+			st.markNSDone(i)
+		}
+	}
+	for i, c := range s.sCores {
+		if st.sDone[i] {
+			continue
+		}
+		c.Tick(cyc)
+		if c.Done() {
+			st.markSDone(i)
+		}
+	}
+	for _, e := range s.engines {
+		e.Tick(cyc)
+	}
+}
+
+// tickMemLazy advances the memory domain at a visited edge. Delegator
+// schedulers always tick (they are cheap when idle and they are the source
+// of cross-component enqueues); BOB and direct controllers tick only when
+// their cached horizon has arrived or when an invalidation — CPU-side
+// activity since the previous visited edge, or delegator events due this
+// edge — means new work may have been enqueued anywhere. Elided accounting
+// for skipped edges is settled in bulk just before a component's next real
+// tick. Tick order among ticked components matches the reference loop.
+func (s *System) tickMemLazy(cyc uint64, lz *memLazy, cpuActive bool) {
+	memNow := clock.ToMem(cyc)
+	invalAll := cpuActive || cyc == 0
+	// An SD with events due this edge can enqueue into the secure channel's
+	// sub-channels — and, when tree-top splitting relocates blocks, into the
+	// normal channels too. An on-chip executor enqueues into the direct
+	// controllers. Scope the invalidation accordingly.
+	sdDue, ocDue := false, false
+	if !invalAll {
+		for _, sd := range s.sds {
+			if sd.NextEvent(cyc-1) <= cyc {
+				sdDue = true
+				break
+			}
+		}
+		for _, oc := range s.onchips {
+			if oc.NextEvent(cyc-1) <= cyc {
+				ocDue = true
+				break
+			}
+		}
+	}
+	for _, sd := range s.sds {
+		sd.Tick(cyc)
+	}
+	for _, oc := range s.onchips {
+		oc.Tick(cyc)
+	}
+	for i, b := range s.bobs {
+		if invalAll || (sdDue && (i == 0 || s.sdAllBobs)) || lz.bobNext[i] <= cyc {
+			if memNow > lz.bobSet[i] {
+				b.Skip(memNow - lz.bobSet[i])
+			}
+			b.Tick(cyc)
+			lz.bobSet[i] = memNow + 1
+			lz.bobNext[i] = b.NextEvent(cyc)
+		}
+	}
+	for i, m := range s.directMCs {
+		if invalAll || ocDue || lz.mcNext[i] <= cyc {
+			if memNow > lz.mcSet[i] {
+				m.Skip(memNow - lz.mcSet[i])
+			}
+			m.Tick(memNow)
+			lz.mcSet[i] = memNow + 1
+			if t := m.NextEvent(memNow); t == clock.Never {
+				lz.mcNext[i] = clock.Never
+			} else {
+				lz.mcNext[i] = clock.ToCPU(t)
+			}
+		}
+	}
+	// Refresh the global memory horizon: cached controller horizons plus
+	// fresh delegator queries (their schedules may have gained events from
+	// completions fired during the controller ticks above).
+	next := clock.Never
+	for _, t := range lz.bobNext {
+		if t < next {
+			next = t
+		}
+	}
+	for _, t := range lz.mcNext {
+		if t < next {
+			next = t
+		}
+	}
+	for _, sd := range s.sds {
+		if t := sd.NextEvent(cyc); t < next {
+			next = t
+		}
+	}
+	for _, oc := range s.onchips {
+		if t := oc.NextEvent(cyc); t < next {
+			next = t
+		}
+	}
+	lz.memNext = next
+}
+
+// settleMem brings every lazily-ticked component's per-cycle accounting
+// current through CPU cycle cyc — required before a metrics sample or the
+// final collect reads utilization integrals, since the reference loop
+// would have ticked each controller on every edge up to cyc.
+func (s *System) settleMem(cyc uint64, lz *memLazy) {
+	target := clock.ToMem(cyc) + 1
+	for i, b := range s.bobs {
+		if target > lz.bobSet[i] {
+			b.Skip(target - lz.bobSet[i])
+			lz.bobSet[i] = target
+		}
+	}
+	for i, m := range s.directMCs {
+		if target > lz.mcSet[i] {
+			m.Skip(target - lz.mcSet[i])
+			lz.mcSet[i] = target
+		}
+	}
+}
+
+// cpuNextEvent returns the earliest cycle strictly after cyc at which a
+// CPU-domain component (core or engine) can change state. Bails out at
+// cyc+1, the floor, as soon as any component is immediately active.
+func (s *System) cpuNextEvent(cyc uint64, st *runState) uint64 {
+	next := clock.Never
+	floor := cyc + 1
+	for i, c := range s.nsCores {
+		if st.nsDone[i] {
+			continue
+		}
+		if t := c.NextEvent(cyc); t < next {
+			if t <= floor {
+				return floor
+			}
+			next = t
+		}
+	}
+	for i, c := range s.sCores {
+		if st.sDone[i] {
+			continue
+		}
+		if t := c.NextEvent(cyc); t < next {
+			if t <= floor {
+				return floor
+			}
+			next = t
+		}
+	}
+	for _, e := range s.engines {
+		if t := e.NextEvent(cyc); t < next {
+			if t <= floor {
+				return floor
+			}
+			next = t
+		}
+	}
+	return next
+}
+
+// skipIdleCores compensates core-side per-cycle accounting for the elided
+// cycles (cyc, to): one retire stall per blocked core per CPU cycle.
+// Memory-controller accounting for elided edges is settled lazily by
+// tickMemLazy/settleMem. Everything else in the skipped range is a proven
+// no-op — that is what the event horizons established.
+func (s *System) skipIdleCores(cyc, to uint64, st *runState) {
+	skipped := to - cyc - 1
+	if skipped == 0 {
+		return
+	}
+	for i, c := range s.nsCores {
+		if !st.nsDone[i] {
+			c.SkipIdle(skipped)
+		}
+	}
+	for i, c := range s.sCores {
+		if !st.sDone[i] {
+			c.SkipIdle(skipped)
+		}
+	}
 }
 
 // collect finalizes the Results after the run.

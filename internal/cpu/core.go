@@ -8,6 +8,7 @@
 package cpu
 
 import (
+	"doram/internal/clock"
 	"doram/internal/stats"
 	"doram/internal/trace"
 )
@@ -36,6 +37,16 @@ type Port interface {
 	// For reads, onDone must be invoked exactly once with the CPU cycle the
 	// data arrived. For writes onDone is nil (posted writes).
 	Access(write bool, addr uint64, now uint64, onDone func(doneCycle uint64)) bool
+}
+
+// RejectingPort is optionally implemented by ports whose Access rejects
+// under back-pressure and whose per-rejection accounting must stay exact
+// when the fast-forward loop elides retry cycles. CanAccept reports
+// whether an Access right now would be admitted; SkipRejects accounts n
+// elided rejected retries (one per elided cycle).
+type RejectingPort interface {
+	CanAccept() bool
+	SkipRejects(n uint64)
 }
 
 // Stats aggregates one core's execution behaviour.
@@ -128,6 +139,77 @@ func (c *Core) Tick(now uint64) {
 	}
 	c.retire(now)
 	c.fetch(now)
+}
+
+// blockedIdle reports whether a Tick right now would change nothing but
+// the RetireStalls counter: retirement is blocked on an unfinished read at
+// the ROB head, and fetch can neither insert instructions (ROB full) nor
+// touch the memory port (trace drained). In that state the core only wakes
+// when the head read's completion callback fires.
+func (c *Core) blockedIdle() bool {
+	if len(c.ops) == 0 {
+		return false
+	}
+	op := c.ops[0]
+	if op.instrIdx != c.retireIdx || op.write || op.done {
+		return false
+	}
+	return !c.haveRec || c.fetchIdx-c.retireIdx >= uint64(c.cfg.ROBSize)
+}
+
+// stalledOnPort reports whether a Tick right now would be a pure stall
+// retry: retirement cannot progress (blocked on an unfinished read at the
+// ROB head, or nothing left to retire), fetch's next action is the memory
+// access itself (ROB space available, no non-memory instructions to insert
+// first) and the port would reject it. Such a Tick changes only three
+// counters — the core's retire and fetch stalls and the port's rejection
+// count — and the port frees capacity only at its own events, so the core
+// need not be visited every cycle.
+func (c *Core) stalledOnPort() bool {
+	if !c.haveRec || c.fetchIdx < c.nextOpIdx ||
+		c.fetchIdx-c.retireIdx >= uint64(c.cfg.ROBSize) {
+		return false
+	}
+	if len(c.ops) > 0 {
+		op := c.ops[0]
+		if op.instrIdx != c.retireIdx || op.write || op.done {
+			return false
+		}
+	} else if c.retireIdx != c.fetchIdx {
+		return false
+	}
+	rp, ok := c.port.(RejectingPort)
+	return ok && !rp.CanAccept()
+}
+
+// NextEvent reports the earliest CPU cycle strictly after now at which a
+// Tick can change observable state, or clock.Never when only a memory
+// completion (or the port freeing capacity at one of its own events) can
+// unblock the core.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.Done() || c.blockedIdle() || c.stalledOnPort() {
+		return clock.Never
+	}
+	return now + 1
+}
+
+// SkipIdle accounts n elided cycles of a stalled core: one retire stall
+// per cycle when blocked idle, plus one fetch stall and one port rejection
+// per cycle when spinning against a full port. It is a no-op unless the
+// core is currently in one of those states, so callers may apply it to
+// every unfinished core after a clock jump.
+func (c *Core) SkipIdle(n uint64) {
+	if n == 0 {
+		return
+	}
+	switch {
+	case c.blockedIdle():
+		c.stats.RetireStalls.Add(n)
+	case c.stalledOnPort():
+		c.stats.RetireStalls.Add(n)
+		c.stats.FetchStalls.Add(n)
+		c.port.(RejectingPort).SkipRejects(n)
+	}
 }
 
 func (c *Core) retire(now uint64) {

@@ -1,6 +1,7 @@
 package delegator
 
 import (
+	"doram/internal/clock"
 	"doram/internal/evtrace"
 	"doram/internal/metrics"
 	"doram/internal/stats"
@@ -151,6 +152,32 @@ func (e *Engine) Access(write bool, addr uint64, now uint64, onDone func(uint64)
 	}
 	e.pending = append(e.pending, &engineOp{write: write, addr: addr, onDone: onDone})
 	return true
+}
+
+// CanAccept implements cpu.RejectingPort: whether an Access right now
+// would be admitted. Capacity frees only when Tick issues a pending
+// request, so a core spinning on a full queue can sleep between engine
+// events.
+func (e *Engine) CanAccept() bool { return len(e.pending) < e.queueCap }
+
+// SkipRejects implements cpu.RejectingPort: accounts n elided rejected
+// retries against the full-queue counter, exactly as n per-cycle Access
+// attempts would have.
+func (e *Engine) SkipRejects(n uint64) { e.stats.QueueFull.Add(n) }
+
+// NextEvent reports the earliest CPU cycle strictly after now at which a
+// Tick can change observable state. While awaiting a response the engine
+// returns clock.Never (OnResponse rearms sendAt); once due it must be
+// ticked every cycle because each attempt draws a tracer access ID even
+// when the executor rejects the submit.
+func (e *Engine) NextEvent(now uint64) uint64 {
+	if e.waiting {
+		return clock.Never
+	}
+	if e.sendAt > now {
+		return e.sendAt
+	}
+	return now + 1
 }
 
 // Tick advances the engine by one CPU cycle, issuing a request when due.

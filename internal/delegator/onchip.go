@@ -246,3 +246,18 @@ func (o *OnChip) finishAccess(now uint64) {
 
 // Tick processes due events; call once per memory-clock edge.
 func (o *OnChip) Tick(now uint64) { o.sched.Run(now) }
+
+// NextEvent reports the earliest CPU cycle strictly after now at which a
+// Tick can change state, aligned to the memory edge the per-cycle loop
+// would run it on; clock.Never with no pending events (completions arrive
+// through the controllers' callbacks, covered by their NextEvent).
+func (o *OnChip) NextEvent(now uint64) uint64 {
+	at, ok := o.sched.NextAt()
+	if !ok {
+		return clock.Never
+	}
+	if at <= now {
+		at = now + 1
+	}
+	return clock.AlignMemEdge(at)
+}

@@ -47,3 +47,18 @@ func (s *sched) Run(now uint64) {
 
 // Empty reports whether no events are pending.
 func (s *sched) Empty() bool { return len(s.events) == 0 }
+
+// NextAt returns the earliest pending event time; ok is false when no
+// events are pending.
+func (s *sched) NextAt() (at uint64, ok bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	at = s.events[0].at
+	for _, e := range s.events[1:] {
+		if e.at < at {
+			at = e.at
+		}
+	}
+	return at, true
+}

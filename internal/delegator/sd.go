@@ -408,3 +408,20 @@ func (sd *SD) finishAccess(ctx *sdAccess, now uint64) {
 
 // Tick processes due events; call once per memory-clock edge.
 func (sd *SD) Tick(now uint64) { sd.sched.Run(now) }
+
+// NextEvent reports the earliest CPU cycle strictly after now at which a
+// Tick can change state: the earliest scheduled event, aligned up to the
+// memory edge the per-cycle loop would run it on. clock.Never with an
+// empty event list — the SD's other transitions happen synchronously
+// inside the memory controllers' completion callbacks, so the controllers'
+// own NextEvent covers them.
+func (sd *SD) NextEvent(now uint64) uint64 {
+	at, ok := sd.sched.NextAt()
+	if !ok {
+		return clock.Never
+	}
+	if at <= now {
+		at = now + 1
+	}
+	return clock.AlignMemEdge(at)
+}

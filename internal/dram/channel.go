@@ -134,6 +134,11 @@ func (ch *Channel) RefreshPressure(rank int, now uint64) bool {
 	return ch.ranks[rank].refreshDue(now)
 }
 
+// NextRefreshDue returns the memory cycle rank's next REF becomes due.
+func (ch *Channel) NextRefreshDue(rank int) uint64 {
+	return ch.ranks[rank].NextRefreshDue()
+}
+
 // commandBusFree reports whether the single-command-per-cycle constraint
 // allows another command at cycle now.
 func (ch *Channel) commandBusFree(now uint64) bool {
@@ -179,6 +184,91 @@ func (ch *Channel) CanIssue(cmd Command, rank, bank int, row int64, now uint64) 
 		return false
 	}
 }
+
+// NextCanIssue returns the earliest memory cycle strictly after now at
+// which cmd targeting (rank, bank, row) could legally issue, assuming no
+// other command issues in the meantime. Every constraint CanIssue checks is
+// an absolute timestamp frozen between issues, so the bound is exact under
+// that assumption: CanIssue is false at every cycle before the returned one
+// and true at it. It returns clock.Never when time alone cannot unblock cmd
+// (ACT needs the open row precharged first, RD/WR need their row opened,
+// REF needs every bank closed) — only another command changes those.
+func (ch *Channel) NextCanIssue(cmd Command, rank, bank int, row int64, now uint64) uint64 {
+	t := now + 1
+	if ch.hasIssuedCmd && t <= ch.lastCmdCycle {
+		t = ch.lastCmdCycle + 1
+	}
+	r := ch.ranks[rank]
+	if t < r.refreshUntil {
+		t = r.refreshUntil
+	}
+	b := &r.banks[bank]
+	switch cmd {
+	case CmdActivate:
+		if b.openRow != RowNone {
+			return clock.Never
+		}
+		t = maxU64(t, b.nextActivate)
+		if r.hasAct {
+			t = maxU64(t, r.lastActTime+ch.timing.rrdFor(r.lastActBank, bank))
+		}
+		if r.actCount == len(r.actTimes) {
+			t = maxU64(t, r.actTimes[r.actHead]+ch.timing.FAW)
+		}
+	case CmdPrecharge:
+		if b.openRow == RowNone {
+			return clock.Never
+		}
+		t = maxU64(t, b.nextPrecharge)
+	case CmdRead:
+		if !b.IsOpen(row) {
+			return clock.Never
+		}
+		t = maxU64(t, b.nextRead)
+		t = maxU64(t, r.nextRead)
+		if r.hasCAS {
+			t = maxU64(t, r.lastCASTime+ch.timing.ccdFor(r.lastCASBank, bank))
+		}
+		t = maxU64(t, ch.busReadyFor(rank, false, ch.timing.CL))
+	case CmdWrite:
+		if !b.IsOpen(row) {
+			return clock.Never
+		}
+		t = maxU64(t, b.nextWrite)
+		t = maxU64(t, r.nextWrite)
+		if r.hasCAS {
+			t = maxU64(t, r.lastCASTime+ch.timing.ccdFor(r.lastCASBank, bank))
+		}
+		t = maxU64(t, ch.busReadyFor(rank, true, ch.timing.CWL))
+	case CmdRefresh:
+		if !r.allPrecharged() {
+			return clock.Never
+		}
+		if due := r.nextRefreshDue - ch.timing.REFI/8; t < due {
+			t = due
+		}
+	}
+	return t
+}
+
+// busReadyFor returns the earliest cycle a column command with the given
+// data latency could issue so that its burst start clears the data bus
+// occupancy plus any rank/direction turnaround (the time-shifted mirror of
+// dataBusOK).
+func (ch *Channel) busReadyFor(rank int, isWrite bool, lat uint64) uint64 {
+	need := ch.dataBusFreeAt
+	if ch.lastBurstRank >= 0 && (ch.lastBurstRank != rank || ch.lastBurstWr != isWrite) {
+		need += ch.timing.RTRS
+	}
+	if need <= lat {
+		return 0
+	}
+	return need - lat
+}
+
+// IssuedThisCycle reports whether a command has issued since the last
+// EndCycle — i.e. whether the current memory cycle's command slot is used.
+func (ch *Channel) IssuedThisCycle() bool { return ch.hasIssuedCmd }
 
 // Issue executes cmd at cycle now and returns the cycle at which its effect
 // completes: for reads/writes the cycle the last data beat leaves/arrives
@@ -252,4 +342,12 @@ func (ch *Channel) occupyBus(start uint64, rank int, isWrite bool) {
 func (ch *Channel) EndCycle() {
 	ch.hasIssuedCmd = false
 	ch.stats.DataBus.AddTotal(1)
+}
+
+// Skip accounts n elided idle memory cycles: the utilization denominator
+// EndCycle would have advanced on each. All other channel state (bank FSMs,
+// bus occupancy, refresh deadlines) is timestamp-based and needs no decay,
+// which is what makes idle cycles skippable at all.
+func (ch *Channel) Skip(n uint64) {
+	ch.stats.DataBus.AddTotal(n)
 }

@@ -51,6 +51,11 @@ func (r *Rank) inRefresh(now uint64) bool { return now < r.refreshUntil }
 // refreshDue reports whether a refresh should be scheduled at or before now.
 func (r *Rank) refreshDue(now uint64) bool { return now >= r.nextRefreshDue }
 
+// NextRefreshDue returns the memory cycle the next REF becomes due — the
+// rank's only autonomous deadline, so it bounds how far an idle controller
+// may fast-forward without missing refresh pressure.
+func (r *Rank) NextRefreshDue() uint64 { return r.nextRefreshDue }
+
 // fawOK reports whether a new ACT at cycle now keeps at most 4 ACTs within
 // any tFAW window.
 func (r *Rank) fawOK(now uint64, t Timing) bool {

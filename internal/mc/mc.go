@@ -164,6 +164,14 @@ type Controller struct {
 
 	inflight []pendingDone
 
+	// quietUntil caches a sound lower bound on the next cycle scheduling
+	// could do anything: when a fully-executed Tick issues nothing,
+	// quietBound proves every earlier Tick a no-op beyond idle accounting,
+	// so Tick short-circuits and NextEvent can fast-forward past the gap.
+	// dirty invalidates the bound when an Enqueue changes the queues.
+	quietUntil uint64
+	dirty      bool
+
 	stats QueueStats
 
 	// queueWait is an optional metrics histogram of column-issue queueing
@@ -275,6 +283,7 @@ func (c *Controller) Enqueue(r *Request, now uint64) bool {
 		r.Arrival = now
 		c.writeQ = append(c.writeQ, r)
 	}
+	c.dirty = true
 	c.stats.Enqueued.Inc()
 	return true
 }
@@ -305,12 +314,163 @@ func (c *Controller) Tick(now uint64) {
 	c.stats.QueueOccupied.AddBusy(uint64(len(c.readQ)))
 	c.stats.QueueOccupied.AddTotal(uint64(c.cfg.ReadQueueCap))
 
+	// Inside a proven-quiet window the full tick below is a no-op beyond
+	// the accounting above: skip the scheduling scan entirely.
+	if !c.dirty && now < c.quietUntil {
+		c.ch.EndCycle()
+		return
+	}
+	c.dirty = false
+	c.quietUntil = 0
+
 	c.updateDrainMode(now)
 
-	if !c.refreshTick(now) {
+	refreshUsed := c.refreshTick(now)
+	if !refreshUsed {
 		c.scheduleTick(now)
 	}
+	issued := c.ch.IssuedThisCycle()
 	c.ch.EndCycle()
+
+	// A fully-executed tick that used no command slot proves the scheduler
+	// stuck on timing: cache how long that lasts. Issues and refresh
+	// pressure invalidate everything the bound relies on, so only the
+	// do-nothing path caches.
+	if !refreshUsed && !issued &&
+		(len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.pendingClose) > 0) {
+		c.quietUntil = c.quietBound(now)
+	}
+}
+
+// NextEvent reports the earliest memory cycle strictly after now at which
+// a Tick can change observable state, or clock.Never when the controller
+// is fully drained and refresh is disabled (only a new Enqueue can create
+// work, and enqueues happen on cycles the caller already visits).
+//
+// With queued work the horizon is the cached quiet bound when one is in
+// force — the scheduler just proved no command can issue before it — and
+// the very next cycle otherwise. The one-tick settling of the drain and
+// cooperation latches after their queues empty also demands the next
+// cycle, so latch state (and the "draining" metrics gauge) matches the
+// per-cycle loop exactly. Otherwise the horizon is the earliest in-flight
+// completion or refresh deadline.
+func (c *Controller) NextEvent(now uint64) uint64 {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.pendingClose) > 0 {
+		if !c.dirty && c.quietUntil > now+1 {
+			return c.quietUntil
+		}
+		return now + 1
+	}
+	// updateDrainMode clears the drain latch one tick after the write
+	// queue empties; coopUpdate likewise resets the preallocation turn the
+	// first tick it sees a one-sided (here: empty) queue pair. Let those
+	// ticks run so latch state matches the per-cycle loop exactly.
+	if c.draining {
+		return now + 1
+	}
+	if c.cfg.CoopEnabled && (c.coopSecTurn || c.coopCount != 0) {
+		return now + 1
+	}
+	next := clock.Never
+	for _, p := range c.inflight {
+		t := p.done
+		if t <= now {
+			t = now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if c.cfg.RefreshEnabled {
+		for rank := 0; rank < c.ch.NumRanks(); rank++ {
+			t := c.ch.NextRefreshDue(rank)
+			if t <= now {
+				t = now + 1
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// Skip accounts n elided idle memory cycles: the queue-occupancy integral
+// and the channel's utilization denominator that Tick would have advanced
+// on each. Callers must only skip cycles where NextEvent proved Tick a
+// no-op beyond this accounting.
+func (c *Controller) Skip(n uint64) {
+	c.stats.QueueOccupied.AddBusy(uint64(len(c.readQ)) * n)
+	c.stats.QueueOccupied.AddTotal(uint64(c.cfg.ReadQueueCap) * n)
+	c.ch.Skip(n)
+}
+
+// quietBound returns a sound lower bound on the next memory cycle at which
+// Tick could do anything beyond idle accounting, given that the scheduler
+// just ran at now and issued nothing. Between issues every DRAM constraint
+// is a frozen absolute timestamp, so the earliest future state change is
+// the minimum over: each queued request's next legal DRAM command (the one
+// FR-FCFS would attempt given current bank state), pending close-page
+// precharges, starvation-age triggers (which flip forced-oldest scheduling
+// and the aged write drain), in-flight completions, and refresh deadlines.
+// Cooperative-preallocation turns only advance on issues, and enqueues set
+// the dirty flag, so neither can change inside the bound. The bound may be
+// conservative (blocked classes are treated as eligible), never late.
+func (c *Controller) quietBound(now uint64) uint64 {
+	next := clock.Never
+	add := func(t uint64) {
+		if t < next {
+			next = t
+		}
+	}
+	cand := func(r *Request, col dram.Command) {
+		rank, bank, row := r.Coord.Rank, r.Coord.Bank, r.Coord.Row
+		switch open := c.ch.OpenRow(rank, bank); {
+		case open == row && open != dram.RowNone:
+			add(c.ch.NextCanIssue(col, rank, bank, row, now))
+		case open == dram.RowNone:
+			add(c.ch.NextCanIssue(dram.CmdActivate, rank, bank, row, now))
+		default:
+			add(c.ch.NextCanIssue(dram.CmdPrecharge, rank, bank, 0, now))
+		}
+	}
+	for _, r := range c.readQ {
+		cand(r, dram.CmdRead)
+	}
+	for _, r := range c.writeQ {
+		cand(r, dram.CmdWrite)
+	}
+	for _, coord := range c.pendingClose {
+		open := c.ch.OpenRow(coord.Rank, coord.Bank)
+		if open != dram.RowNone && open == coord.Row {
+			add(c.ch.NextCanIssue(dram.CmdPrecharge, coord.Rank, coord.Bank, 0, now))
+		}
+	}
+	if len(c.readQ) > 0 {
+		if t := c.readQ[0].Arrival + c.cfg.StarvationAge + 1; t > now {
+			add(t)
+		}
+	}
+	if len(c.writeQ) > 0 {
+		if t := c.writeQ[0].Arrival + c.cfg.StarvationAge + 1; t > now {
+			add(t)
+		}
+	}
+	for _, p := range c.inflight {
+		t := p.done
+		if t <= now {
+			t = now + 1
+		}
+		add(t)
+	}
+	if c.cfg.RefreshEnabled {
+		for rank := 0; rank < c.ch.NumRanks(); rank++ {
+			if t := c.ch.NextRefreshDue(rank); t > now {
+				add(t)
+			}
+		}
+	}
+	return next
 }
 
 // flush delivers completions whose data transfer has finished.

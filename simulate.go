@@ -98,6 +98,13 @@ type SimConfig struct {
 	LinkCorruptProb float64
 	LinkLossProb    float64
 
+	// NoFastForward disables the idle-cycle fast-forward scheduler and
+	// visits every CPU cycle like the original loop. Fast-forward (the
+	// default) is bit-identical in results, metrics and traces — the
+	// differential test suite enforces it — so this is an escape hatch and
+	// the reference side of that comparison, not a fidelity trade-off.
+	NoFastForward bool
+
 	// Metrics enables the observability subsystem: a metric registry over
 	// every simulated component and a cycle-sampled timeline of bus
 	// utilization, queue depths, stash occupancy and link fault counters,
@@ -241,6 +248,7 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	ic.TraceDir = cfg.TraceDir
 	ic.LinkCorruptProb = cfg.LinkCorruptProb
 	ic.LinkLossProb = cfg.LinkLossProb
+	ic.NoFastForward = cfg.NoFastForward
 	if cfg.Metrics || cfg.MetricsEpochCycles > 0 {
 		ic.MetricsEpochCycles = cfg.MetricsEpochCycles
 		if ic.MetricsEpochCycles == 0 {
