@@ -1,0 +1,305 @@
+// Command doramctl is the client for a doramd simulation service.
+//
+// Usage:
+//
+//	doramctl [-server URL] <command> [args]
+//
+//	doramctl health
+//	doramctl submit spec.json            submit one job spec (- = stdin)
+//	doramctl submit -wait spec.json      ... and block until it finishes
+//	doramctl sweep a.json b.json c.json  submit a batch in one request
+//	doramctl sweep -wait a.json b.json
+//	doramctl status j-00000001
+//	doramctl wait j-00000001             poll until the job is terminal
+//	doramctl result j-00000001           print the finished job's result
+//	doramctl metrics j-00000001          print the job's metric dump
+//	doramctl cancel j-00000001
+//	doramctl varz                        print the service metric dump
+//
+// Job specs are the JSON documents accepted by POST /v1/jobs (the
+// canonical doram.Params encoding); see README "Serving mode". On 429
+// (queue full) submit and sweep honour the server's Retry-After once
+// before giving up.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: doramctl [-server URL] {health|varz|submit|sweep|status|wait|result|metrics|cancel} ...")
+	os.Exit(2)
+}
+
+func main() {
+	server := "http://127.0.0.1:8344"
+	args := os.Args[1:]
+	// One global flag, accepted before the subcommand.
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-server" && len(args) > 1:
+			server, args = args[1], args[2:]
+		case strings.HasPrefix(args[0], "-server="):
+			server, args = strings.TrimPrefix(args[0], "-server="), args[1:]
+		default:
+			usage()
+		}
+	}
+	if len(args) == 0 {
+		usage()
+	}
+	c := &client{base: strings.TrimRight(server, "/")}
+
+	cmd, args := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "health":
+		err = c.health()
+	case "varz":
+		err = c.printBody("GET", "/varz", nil)
+	case "submit":
+		err = c.submit(args)
+	case "sweep":
+		err = c.sweep(args)
+	case "status":
+		err = c.oneJob(args, func(id string) error { return c.printBody("GET", "/v1/jobs/"+id, nil) })
+	case "wait":
+		err = c.oneJob(args, func(id string) error { _, err := c.wait(id); return err })
+	case "result":
+		err = c.oneJob(args, func(id string) error { return c.printBody("GET", "/v1/jobs/"+id+"/result", nil) })
+	case "metrics":
+		err = c.oneJob(args, func(id string) error { return c.printBody("GET", "/v1/jobs/"+id+"/metrics", nil) })
+	case "cancel":
+		err = c.oneJob(args, func(id string) error { return c.printBody("POST", "/v1/jobs/"+id+"/cancel", nil) })
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doramctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type client struct {
+	base string
+}
+
+// jobStatus mirrors the service's JobStatus closely enough to drive the
+// client (unknown fields are ignored on purpose: older clients keep
+// working against newer servers).
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+// do performs one request and returns the body. Service errors become Go
+// errors carrying the server's message. A 429 is retried once after the
+// server's Retry-After.
+func (c *client) do(method, path string, body []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt == 0 {
+			delay := 2 * time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			fmt.Fprintf(os.Stderr, "doramctl: queue full, retrying in %s\n", delay)
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+				return nil, fmt.Errorf("%s (HTTP %d)", apiErr.Error, resp.StatusCode)
+			}
+			return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return data, nil
+	}
+}
+
+// printBody performs a request and echoes the JSON response to stdout.
+func (c *client) printBody(method, path string, body []byte) error {
+	data, err := c.do(method, path, body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+func (c *client) health() error {
+	data, err := c.do("GET", "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+// oneJob runs fn against exactly one job-id argument.
+func (c *client) oneJob(args []string, fn func(id string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one job id, got %d arguments", len(args))
+	}
+	return fn(args[0])
+}
+
+// readSpec loads a job spec from a file, or stdin for "-".
+func readSpec(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func (c *client) submit(args []string) error {
+	wait := false
+	if len(args) > 0 && args[0] == "-wait" {
+		wait, args = true, args[1:]
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("submit expects one spec file (or - for stdin)")
+	}
+	spec, err := readSpec(args[0])
+	if err != nil {
+		return err
+	}
+	data, err := c.do("POST", "/v1/jobs", spec)
+	if err != nil {
+		return err
+	}
+	var st jobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if !wait {
+		os.Stdout.Write(data)
+		return nil
+	}
+	final, err := c.wait(st.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	return nil
+}
+
+func (c *client) sweep(args []string) error {
+	wait := false
+	if len(args) > 0 && args[0] == "-wait" {
+		wait, args = true, args[1:]
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("sweep expects at least one spec file")
+	}
+	var req struct {
+		Specs []json.RawMessage `json:"specs"`
+	}
+	for _, path := range args {
+		spec, err := readSpec(path)
+		if err != nil {
+			return err
+		}
+		req.Specs = append(req.Specs, json.RawMessage(spec))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	data, err := c.do("POST", "/v1/sweeps", body)
+	if err != nil {
+		return err
+	}
+	var resp struct {
+		Jobs     []*jobStatus `json:"jobs"`
+		Errors   []string     `json:"errors"`
+		Rejected int          `json:"rejected"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if !wait {
+		os.Stdout.Write(data)
+		if resp.Rejected > 0 {
+			return fmt.Errorf("%d of %d specs rejected", resp.Rejected, len(req.Specs))
+		}
+		return nil
+	}
+	failed := 0
+	for i, job := range resp.Jobs {
+		if job == nil {
+			fmt.Fprintf(os.Stderr, "doramctl: spec %s rejected: %s\n", args[i], resp.Errors[i])
+			failed++
+			continue
+		}
+		final, err := c.wait(job.ID)
+		if err != nil {
+			return err
+		}
+		if final.State != "done" {
+			fmt.Fprintf(os.Stderr, "doramctl: job %s (%s) ended %s: %s\n", final.ID, args[i], final.State, final.Error)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sweep jobs did not finish", failed, len(req.Specs))
+	}
+	return nil
+}
+
+// wait polls a job until it is terminal, printing each state change, and
+// returns the final status.
+func (c *client) wait(id string) (jobStatus, error) {
+	last := ""
+	for {
+		data, err := c.do("GET", "/v1/jobs/"+id, nil)
+		if err != nil {
+			return jobStatus{}, err
+		}
+		var st jobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return jobStatus{}, fmt.Errorf("decoding status: %w", err)
+		}
+		if st.State != last {
+			fmt.Fprintf(os.Stderr, "doramctl: %s %s\n", id, st.State)
+			last = st.State
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,99 @@
+// Command doramd serves the D-ORAM simulator as a job service: an HTTP
+// API over a bounded job queue, a worker pool, and a deduplicating result
+// cache (see internal/simsvc and DESIGN.md §12).
+//
+// Usage:
+//
+//	doramd -addr :8344
+//	doramd -addr 127.0.0.1:8344 -workers 4 -queue 128 -cache 256
+//	doramd -job-timeout 2m -max-trace 500000 -drain-timeout 10s
+//
+// SIGTERM or SIGINT drains gracefully: the listener stops accepting,
+// queued jobs are cancelled, and running simulations get -drain-timeout
+// to finish before being aborted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"doram/internal/simsvc"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8344", "listen address")
+		workers      = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "job queue depth; beyond it submissions get 429")
+		cacheSize    = flag.Int("cache", 128, "result-cache entries (negative disables caching)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-time limit")
+		maxTrace     = flag.Uint64("max-trace", 2_000_000, "largest admitted per-core trace length")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
+	)
+	flag.Parse()
+	log.SetPrefix("doramd: ")
+	log.SetFlags(log.LstdFlags)
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "doramd: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	svc := simsvc.New(simsvc.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheSize,
+		JobTimeout:   *jobTimeout,
+		MaxTraceLen:  *maxTrace,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("serving on http://%s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), effWorkers, *queueDepth, *cacheSize)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain deadline passed; running jobs aborted")
+		} else {
+			log.Printf("drain: %v", err)
+		}
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

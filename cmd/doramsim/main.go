@@ -58,6 +58,13 @@ func main() {
 	)
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := checkFlagConflicts(explicit, *traceJSON, *traceTop); err != nil {
+		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *traceCheck != "" {
 		data, err := os.ReadFile(*traceCheck)
 		if err == nil {
@@ -171,6 +178,36 @@ func main() {
 	if *traceTop > 0 && res.Trace != nil {
 		printTraceTop(res.Trace, *traceTop)
 	}
+}
+
+// checkFlagConflicts rejects contradictory flag combinations up front,
+// instead of letting a meaningless knob silently do nothing. explicit
+// holds the flags the user actually set (flag.Visit), so defaults never
+// trip a conflict.
+func checkFlagConflicts(explicit map[string]bool, traceJSON string, traceTop int) error {
+	if explicit["chaos"] {
+		for _, name := range []string{
+			"scheme", "bench", "ns", "k", "c", "trace", "channels", "json",
+			"tracedir", "no-fast-forward", "link-corrupt", "link-loss",
+			"metrics", "metrics-epoch", "metrics-json", "metrics-csv",
+			"trace-json", "trace-limit", "trace-sample", "trace-top", "trace-validate",
+		} {
+			if explicit[name] {
+				return fmt.Errorf("-chaos runs a fixed fault campaign against the functional ORAM; -%s does not apply (only -seed does)", name)
+			}
+		}
+	}
+	if (explicit["trace-sample"] || explicit["trace-limit"]) && traceJSON == "" && traceTop == 0 {
+		return fmt.Errorf("-trace-sample/-trace-limit shape the event ring, but no trace output is enabled; add -trace-json or -trace-top")
+	}
+	if explicit["trace-validate"] {
+		for name := range explicit {
+			if name != "trace-validate" {
+				return fmt.Errorf("-trace-validate checks an existing trace file and exits; -%s does not apply", name)
+			}
+		}
+	}
+	return nil
 }
 
 // printTraceReport renders the latency-attribution table: per request kind

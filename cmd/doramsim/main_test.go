@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestCheckFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name      string
+		explicit  map[string]bool
+		traceJSON string
+		traceTop  int
+		wantErr   string // "" = accepted
+	}{
+		{name: "plain run", explicit: set("scheme", "bench", "k")},
+		{name: "chaos alone", explicit: set("chaos")},
+		{name: "chaos with seed", explicit: set("chaos", "seed")},
+		{name: "chaos with scheme", explicit: set("chaos", "scheme"), wantErr: "-scheme does not apply"},
+		{name: "chaos with metrics", explicit: set("chaos", "metrics-json"), wantErr: "-metrics-json does not apply"},
+		{name: "chaos with bench", explicit: set("chaos", "bench"), wantErr: "-bench does not apply"},
+		{name: "sample without sink", explicit: set("trace-sample"), wantErr: "no trace output"},
+		{name: "limit without sink", explicit: set("trace-limit"), wantErr: "no trace output"},
+		{name: "sample with trace-json", explicit: set("trace-sample", "trace-json"), traceJSON: "out.json"},
+		{name: "limit with trace-top", explicit: set("trace-limit", "trace-top"), traceTop: 5},
+		{name: "validate alone", explicit: set("trace-validate")},
+		{name: "validate with scheme", explicit: set("trace-validate", "scheme"), wantErr: "-scheme does not apply"},
+	}
+	for _, tc := range cases {
+		err := checkFlagConflicts(tc.explicit, tc.traceJSON, tc.traceTop)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -32,13 +32,14 @@ func main() {
 		metricsDir   = flag.String("metrics-dir", "", "write one metric dump JSON per run into this directory (enables metrics)")
 		metricsEpoch = flag.Uint64("metrics-epoch", 0, "timeline sampling period in CPU cycles (0 = default)")
 		traceDir     = flag.String("trace-dir", "", "write one sampled Chrome trace JSON per run into this directory (enables tracing, ORAM spans only)")
+		endpoint     = flag.String("endpoint", "", "offload runs to the doramd service at this base URL (e.g. http://127.0.0.1:8344)")
 	)
 	flag.Parse()
 
 	opts := doram.ExperimentOptions{
 		Quick: *quick, TraceLen: *trace, Seed: *seed,
 		MetricsDir: *metricsDir, MetricsEpochCycles: *metricsEpoch,
-		TraceDir: *traceDir,
+		TraceDir: *traceDir, Endpoint: *endpoint,
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")

@@ -29,6 +29,12 @@ type ExperimentOptions struct {
 	// (ORAM spans only, sampled) and writes one Chrome trace JSON per run
 	// into the directory (created if missing).
 	TraceDir string
+	// Endpoint, when set, offloads runs to a doramd simulation service at
+	// this base URL instead of simulating in-process; identical runs are
+	// served from the service's result cache. Not combinable with TraceDir
+	// (span traces stay on the server). Configurations a job spec cannot
+	// express still run locally.
+	Endpoint string
 }
 
 func (o ExperimentOptions) internal() experiments.Options {
@@ -48,6 +54,7 @@ func (o ExperimentOptions) internal() experiments.Options {
 	io.MetricsDir = o.MetricsDir
 	io.MetricsEpochCycles = o.MetricsEpochCycles
 	io.TraceDir = o.TraceDir
+	io.Endpoint = o.Endpoint
 	return io
 }
 

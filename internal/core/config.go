@@ -176,6 +176,13 @@ type Config struct {
 	// TraceTopK sizes the slowest-ORAM-accesses report (0 means
 	// evtrace.DefaultTopK).
 	TraceTopK int
+
+	// Stop, when non-nil, is polled every few thousand loop iterations by
+	// Run; once it returns true the run aborts with ErrStopped. It is the
+	// cooperative-cancellation hook for callers that wrap a run in a
+	// context or deadline (the doramd job service); a nil Stop costs the
+	// loop nothing. Excluded from JSON (Results embeds Config).
+	Stop func() bool `json:"-"`
 }
 
 // DefaultMetricsEpochCycles is the timeline sampling period callers should

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"doram/internal/addrmap"
@@ -526,7 +527,18 @@ type runState struct {
 	sDone        []bool
 	measureNS    bool // NS cores are the measured set
 	measuredLeft int
+	stopped      bool // Config.Stop fired; the run aborts with ErrStopped
 }
+
+// ErrStopped is returned by Run when Config.Stop reports cancellation.
+// Callers that wrapped the run in a context should translate it back into
+// their context's error.
+var ErrStopped = errors.New("core: run stopped by Config.Stop")
+
+// stopCheckMask throttles Config.Stop polling: the hook runs once every
+// 4096 loop iterations, so even a context check stays invisible next to
+// the per-iteration component work.
+const stopCheckMask = 1<<12 - 1
 
 func newRunState(s *System) *runState {
 	st := &runState{
@@ -588,6 +600,9 @@ func (s *System) Run() (*Results, error) {
 	} else {
 		cyc, lz = s.runFastForward(st)
 	}
+	if st.stopped {
+		return nil, ErrStopped
+	}
 	if cyc >= s.cfg.MaxCycles {
 		return nil, fmt.Errorf("core: run exceeded MaxCycles=%d (%s, %s)",
 			s.cfg.MaxCycles, s.cfg.Scheme, s.cfg.Benchmark)
@@ -602,8 +617,13 @@ func (s *System) Run() (*Results, error) {
 // runEveryCycle is the reference loop: every CPU cycle visited, every
 // component ticked. It returns the finish cycle (== MaxCycles on overrun).
 func (s *System) runEveryCycle(st *runState) uint64 {
-	var cyc uint64
+	var cyc, iter uint64
 	for cyc < s.cfg.MaxCycles {
+		if iter&stopCheckMask == 0 && s.cfg.Stop != nil && s.cfg.Stop() {
+			st.stopped = true
+			break
+		}
+		iter++
 		s.tickCycle(cyc, clock.IsMemEdge(cyc), st)
 		if s.metricsEpoch != 0 && cyc%s.metricsEpoch == 0 && cyc > 0 {
 			s.metrics.Sample(cyc)
@@ -647,9 +667,14 @@ func (s *System) runFastForward(st *runState) (uint64, *memLazy) {
 		mcSet:   make([]uint64, len(s.directMCs)),
 		memNext: clock.Never,
 	}
-	var cyc, cpuHorizon uint64
+	var cyc, cpuHorizon, iter uint64
 	cpuActive := false
 	for cyc < s.cfg.MaxCycles {
+		if iter&stopCheckMask == 0 && s.cfg.Stop != nil && s.cfg.Stop() {
+			st.stopped = true
+			break
+		}
+		iter++
 		if cpuHorizon <= cyc {
 			// A core or engine may act this cycle (or already has, at an
 			// earlier cycle since the last edge): memory enqueues possible.

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"doram/internal/core"
+)
+
+// Test-only exports for the external consistency tests (remote_test.go),
+// which live in experiments_test so they can import the root doram package
+// alongside this one.
+var (
+	SoloConfig     = soloConfig
+	CorunConfig    = corunConfig
+	DORAMConfig    = doramConfig
+	BaselineConfig = baselineConfig
+)
+
+// SpecJSON exposes the wire lifting: the bytes must decode via
+// doram.ParamsFromJSON into a spec that lowers to the same simulation as
+// running cfg directly.
+func SpecJSON(cfg core.Config) ([]byte, bool) {
+	spec, ok := specFromConfig(cfg)
+	if !ok {
+		return nil, false
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}

@@ -1,0 +1,172 @@
+// Cross-package consistency tests for the remote sweep runner. This is an
+// external test package on purpose: internal/experiments cannot import the
+// root doram package (the root imports it), so its wire structs mirror the
+// doram.Params / doram.SimResult JSON contracts — and only a package that
+// can see both sides can catch the mirrors drifting.
+package experiments_test
+
+import (
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"doram"
+	"doram/internal/core"
+	"doram/internal/experiments"
+	"doram/internal/mc"
+	"doram/internal/simsvc"
+)
+
+// startService serves a fresh simsvc over a real loopback listener.
+func startService(t *testing.T) string {
+	t.Helper()
+	svc := simsvc.New(simsvc.Config{})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// quick returns a sweep small enough to run twice in a test.
+func quick() experiments.Options {
+	return experiments.Options{TraceLen: 1200, Seed: 42, Benchmarks: []string{"face"}}
+}
+
+// TestSpecJSONAcceptedByParams: every config shape the sweeps build must
+// lift to a wire spec the service-side decoder accepts. A drifted field
+// name or a validation mismatch fails here, not in production.
+func TestSpecJSONAcceptedByParams(t *testing.T) {
+	o := quick()
+	cfgs := map[string]core.Config{
+		"solo":      experiments.SoloConfig(o, "face"),
+		"corun-3ch": experiments.CorunConfig(o, "face", []int{1, 2, 3}),
+		"doram-k2":  experiments.DORAMConfig(o, "face", 2, 4),
+		"baseline":  experiments.BaselineConfig(o, "face"),
+	}
+	metricsCfg := experiments.DORAMConfig(o, "face", 0, core.AllNS)
+	metricsCfg.MetricsEpochCycles = core.DefaultMetricsEpochCycles
+	cfgs["metrics"] = metricsCfg
+	ddr4 := experiments.DORAMConfig(o, "libq", 1, core.AllNS)
+	ddr4.DDR4 = true
+	ddr4.OverlapPhases = true
+	cfgs["ddr4-overlap"] = ddr4
+
+	for name, cfg := range cfgs {
+		data, ok := experiments.SpecJSON(cfg)
+		if !ok {
+			t.Errorf("%s: config unexpectedly not expressible", name)
+			continue
+		}
+		p, err := doram.ParamsFromJSON(data)
+		if err != nil {
+			t.Errorf("%s: service rejects the lifted spec %s: %v", name, data, err)
+			continue
+		}
+		// The round trip must preserve the simulation-defining knobs.
+		sc := p.SimConfig()
+		if string(sc.Scheme) != cfg.Scheme.String() || sc.Benchmark != cfg.Benchmark ||
+			sc.NumNS != cfg.NumNS || sc.SplitK != cfg.SplitK ||
+			sc.TraceLen != cfg.TraceLen || sc.Seed != cfg.Seed ||
+			sc.LatencyWarmup != cfg.LatencyWarmup {
+			t.Errorf("%s: lifted spec lowers to a different simulation:\n  cfg:  %+v\n  spec: %+v", name, cfg, sc)
+		}
+	}
+
+	// Inexpressible shapes must say so instead of silently dropping knobs.
+	sched := experiments.DORAMConfig(o, "face", 0, core.AllNS)
+	sched.MCPolicy = mc.FCFS
+	if _, ok := experiments.SpecJSON(sched); ok {
+		t.Errorf("non-default MCPolicy lifted to a spec that cannot express it")
+	}
+	replay := experiments.SoloConfig(o, "face")
+	replay.TraceDir = "/tmp/traces"
+	if _, ok := experiments.SpecJSON(replay); ok {
+		t.Errorf("TraceDir replay lifted to a spec that cannot express it")
+	}
+}
+
+// TestRemoteSweepMatchesLocal is the keystone: the same figure generated
+// through a doramd endpoint and in-process must agree exactly, proving the
+// wire mirrors and the integer-aggregate reconstruction are lossless.
+func TestRemoteSweepMatchesLocal(t *testing.T) {
+	url := startService(t)
+
+	local := quick()
+	localSum, localTab, err := experiments.Figure10(local)
+	if err != nil {
+		t.Fatalf("local Figure10: %v", err)
+	}
+
+	remote := quick()
+	remote.Endpoint = url
+	remoteSum, remoteTab, err := experiments.Figure10(remote)
+	if err != nil {
+		t.Fatalf("remote Figure10: %v", err)
+	}
+
+	if !reflect.DeepEqual(localSum, remoteSum) {
+		t.Errorf("remote Figure10 summary differs from local:\n  local:  %+v\n  remote: %+v", localSum, remoteSum)
+	}
+	if !reflect.DeepEqual(localTab, remoteTab) {
+		t.Errorf("remote Figure10 table differs from local")
+	}
+}
+
+// TestRemoteFallsBackForScheduler: the scheduler ablation sets MCPolicy,
+// which the wire format cannot carry — those runs execute locally and the
+// study still reproduces exactly.
+func TestRemoteFallsBackForScheduler(t *testing.T) {
+	url := startService(t)
+
+	localSum, _, err := experiments.AblationScheduler(quick(), "face")
+	if err != nil {
+		t.Fatalf("local AblationScheduler: %v", err)
+	}
+	remote := quick()
+	remote.Endpoint = url
+	remoteSum, _, err := experiments.AblationScheduler(remote, "face")
+	if err != nil {
+		t.Fatalf("remote AblationScheduler: %v", err)
+	}
+	if !reflect.DeepEqual(localSum, remoteSum) {
+		t.Errorf("scheduler ablation differs under endpoint fallback:\n  local:  %+v\n  remote: %+v", localSum, remoteSum)
+	}
+}
+
+// TestRemoteMetricsDir: metric dumps travel through the service, so a
+// remote sweep can still write per-run dump files.
+func TestRemoteMetricsDir(t *testing.T) {
+	url := startService(t)
+
+	o := quick()
+	o.Endpoint = url
+	o.MetricsDir = t.TempDir()
+	if _, _, err := experiments.Figure8(o, "face"); err != nil {
+		t.Fatalf("remote Figure8 with MetricsDir: %v", err)
+	}
+	entries, err := os.ReadDir(o.MetricsDir)
+	if err != nil {
+		t.Fatalf("reading metrics dir: %v", err)
+	}
+	dumps := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			dumps++
+		}
+	}
+	if dumps == 0 {
+		t.Errorf("remote sweep wrote no metric dumps")
+	}
+}
+
+// TestRemoteTraceDirRejected: span traces stay server-side, so asking a
+// remote sweep for Chrome trace files must fail loudly, not silently skip.
+func TestRemoteTraceDirRejected(t *testing.T) {
+	o := quick()
+	o.Endpoint = "http://127.0.0.1:1" // must error before dialing
+	o.TraceDir = t.TempDir()
+	if _, _, err := experiments.Figure10(o); err == nil || !strings.Contains(err.Error(), "TraceDir") {
+		t.Errorf("Endpoint+TraceDir: got %v, want TraceDir conflict error", err)
+	}
+}

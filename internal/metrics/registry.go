@@ -12,6 +12,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"doram/internal/stats"
 )
@@ -47,6 +48,46 @@ func (c *Counter) Value() uint64 {
 
 // Name returns the registered name ("" on a nil counter).
 func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// SyncCounter is a concurrency-safe named monotonic counter for
+// multi-goroutine subsystems (the doramd job service). The simulator's
+// single-threaded components keep using Counter, which stays free of
+// atomic traffic on the cycle-loop hot paths. A nil *SyncCounter is inert,
+// exactly like a nil *Counter.
+type SyncCounter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc increments the counter by one.
+func (c *SyncCounter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increments the counter by d.
+func (c *SyncCounter) Add(d uint64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *SyncCounter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name ("" on a nil counter).
+func (c *SyncCounter) Name() string {
 	if c == nil {
 		return ""
 	}
@@ -96,6 +137,7 @@ type namedCounterFunc struct {
 // the intended caller (concurrent sweeps give each run its own registry).
 type Registry struct {
 	counters     []*Counter
+	syncCounters []*SyncCounter
 	counterFuncs []namedCounterFunc
 	gauges       []namedGauge
 	hists        []*Histogram
@@ -129,6 +171,21 @@ func (r *Registry) Counter(name string) *Counter {
 	r.claim(name)
 	c := &Counter{name: name}
 	r.counters = append(r.counters, c)
+	return c
+}
+
+// SyncCounter registers and returns the named concurrency-safe counter
+// (nil on a nil registry). A registry whose instruments are only
+// SyncCounters and CounterFuncs over atomic state may be dumped
+// concurrently with updates; registration itself must still happen before
+// the registry is shared.
+func (r *Registry) SyncCounter(name string) *SyncCounter {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	c := &SyncCounter{name: name}
+	r.syncCounters = append(r.syncCounters, c)
 	return c
 }
 
@@ -172,8 +229,11 @@ func (r *Registry) CounterValues() map[string]uint64 {
 	if r == nil {
 		return nil
 	}
-	out := make(map[string]uint64, len(r.counters)+len(r.counterFuncs))
+	out := make(map[string]uint64, len(r.counters)+len(r.syncCounters)+len(r.counterFuncs))
 	for _, c := range r.counters {
+		out[c.name] = c.Value()
+	}
+	for _, c := range r.syncCounters {
 		out[c.name] = c.Value()
 	}
 	for _, cf := range r.counterFuncs {

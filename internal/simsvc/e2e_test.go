@@ -1,0 +1,300 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"doram"
+)
+
+// e2eServer runs a Service behind a real TCP listener, the way cmd/doramd
+// serves it — requests cross the loopback socket, not an in-process stub.
+type e2eServer struct {
+	svc  *Service
+	srv  *http.Server
+	base string
+}
+
+func startE2E(t *testing.T, cfg Config) *e2eServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	svc := New(cfg)
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	e := &e2eServer{svc: svc, srv: srv, base: "http://" + ln.Addr().String()}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		svc.Close(ctx)
+	})
+	return e
+}
+
+func (e *e2eServer) get(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(e.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", path, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (e *e2eServer) post(t *testing.T, path string, body []byte, out any) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Post(e.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: reading body: %v", path, err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func (e *e2eServer) waitDone(t *testing.T, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := e.get(t, "/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d", id, code)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
+
+func (e *e2eServer) varzCounter(t *testing.T, name string) uint64 {
+	t.Helper()
+	var dump struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if code := e.get(t, "/varz", &dump); code != http.StatusOK {
+		t.Fatalf("varz: HTTP %d", code)
+	}
+	v, ok := dump.Counters[name]
+	if !ok {
+		t.Fatalf("varz counter %q missing (have %v)", name, dump.Counters)
+	}
+	return v
+}
+
+// TestE2ESweepOverTCP is the acceptance-criterion test: a real doramd-style
+// server on a TCP socket runs a sweep — including a duplicate spec — and
+// the fetched result matches an in-process doram.Simulate of the same spec
+// field for field, with the duplicate served without a second simulation.
+func TestE2ESweepOverTCP(t *testing.T) {
+	// One worker makes the dedup observable: spec A runs while its
+	// duplicate arrives, so the duplicate must coalesce, and sim.runs
+	// stays at 2 for 3 submitted + 1 resubmitted jobs.
+	e := startE2E(t, Config{Workers: 1})
+
+	if code := e.get(t, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+
+	specA := `{"scheme":"d-oram","benchmark":"face","k":1,"trace_len":2000}`
+	specB := `{"scheme":"path-oram","benchmark":"libq","trace_len":2000}`
+	sweep := fmt.Sprintf(`{"specs":[%s,%s,%s]}`, specA, specB, specA)
+
+	var sr SweepResponse
+	code, _ := e.post(t, "/v1/sweeps", []byte(sweep), &sr)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep: HTTP %d", code)
+	}
+	if sr.Rejected != 0 || len(sr.Jobs) != 3 {
+		t.Fatalf("sweep response: %d jobs, %d rejected", len(sr.Jobs), sr.Rejected)
+	}
+	if sr.Jobs[0].SpecHash != sr.Jobs[2].SpecHash {
+		t.Fatalf("duplicate specs hashed differently")
+	}
+	if sr.Jobs[0].SpecHash == sr.Jobs[1].SpecHash {
+		t.Fatalf("distinct specs hashed identically")
+	}
+	if !sr.Jobs[2].Coalesced && !sr.Jobs[2].CacheHit {
+		t.Errorf("duplicate spec neither coalesced nor cache-hit: %+v", sr.Jobs[2])
+	}
+
+	// Every job completes, and job A's history shows the full lifecycle.
+	stA := e.waitDone(t, sr.Jobs[0].ID)
+	stB := e.waitDone(t, sr.Jobs[1].ID)
+	stDup := e.waitDone(t, sr.Jobs[2].ID)
+	for _, st := range []JobStatus{stA, stB, stDup} {
+		if st.State != StateDone {
+			t.Fatalf("job %s ended %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+	var states []State
+	for _, tr := range stA.History {
+		states = append(states, tr.State)
+	}
+	if !reflect.DeepEqual(states, []State{StateQueued, StateRunning, StateDone}) {
+		t.Errorf("job A lifecycle %v, want queued -> running -> done", states)
+	}
+
+	// The served result is field-for-field identical to an in-process run.
+	var remote doram.SimResult
+	if code := e.get(t, "/v1/jobs/"+sr.Jobs[0].ID+"/result", &remote); code != http.StatusOK {
+		t.Fatalf("result A: HTTP %d", code)
+	}
+	spec, err := doram.ParamsFromJSON([]byte(specA))
+	if err != nil {
+		t.Fatalf("parse spec A: %v", err)
+	}
+	local, err := doram.Simulate(spec.SimConfig())
+	if err != nil {
+		t.Fatalf("in-process simulate: %v", err)
+	}
+	remoteJSON, _ := json.Marshal(&remote)
+	localJSON, _ := json.Marshal(local)
+	if !bytes.Equal(remoteJSON, localJSON) {
+		t.Errorf("served result differs from in-process Simulate:\nremote: %s\nlocal:  %s", remoteJSON, localJSON)
+	}
+
+	// A post-completion resubmission is a cache hit: terminal on arrival,
+	// the cache-hit counter increments, and no further simulation runs.
+	runsBefore := e.varzCounter(t, "simsvc.sim.runs")
+	hitsBefore := e.varzCounter(t, "simsvc.cache.hits")
+	var resub JobStatus
+	code, _ = e.post(t, "/v1/jobs", []byte(specA), &resub)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	if resub.State != StateDone || !resub.CacheHit {
+		t.Errorf("resubmit state %s cache_hit=%v, want cached done", resub.State, resub.CacheHit)
+	}
+	if hits := e.varzCounter(t, "simsvc.cache.hits"); hits != hitsBefore+1 {
+		t.Errorf("cache.hits went %d -> %d, want +1", hitsBefore, hits)
+	}
+	if runs := e.varzCounter(t, "simsvc.sim.runs"); runs != runsBefore {
+		t.Errorf("sim.runs went %d -> %d on a cache hit", runsBefore, runs)
+	}
+	if runs := e.varzCounter(t, "simsvc.sim.runs"); runs != 2 {
+		t.Errorf("sim.runs = %d for {A, B, dup A, resub A}, want 2", runs)
+	}
+
+	// The duplicate's result is byte-identical to the leader's.
+	var dupRes doram.SimResult
+	if code := e.get(t, "/v1/jobs/"+sr.Jobs[2].ID+"/result", &dupRes); code != http.StatusOK {
+		t.Fatalf("result dup: HTTP %d", code)
+	}
+	dupJSON, _ := json.Marshal(&dupRes)
+	if !bytes.Equal(dupJSON, remoteJSON) {
+		t.Errorf("coalesced duplicate's result differs from leader's")
+	}
+}
+
+// TestE2EErrorMapping exercises the HTTP error surface: invalid specs,
+// unknown jobs, premature result fetches, queue-full backpressure with a
+// Retry-After header, and metrics for a job that enabled them.
+func TestE2EErrorMapping(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	e := startE2E(t, Config{Workers: 1, QueueDepth: 1})
+	e.svc.runSim = blockingSim(started, release)
+	defer close(release)
+
+	if code, _ := e.post(t, "/v1/jobs", []byte(`{"scheme":"quantum","benchmark":"face"}`), nil); code != http.StatusBadRequest {
+		t.Errorf("invalid scheme: HTTP %d, want 400", code)
+	}
+	if code, _ := e.post(t, "/v1/jobs", []byte(`{"scheme":"d-oram","benchmark":"face","splitk":1}`), nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field: HTTP %d, want 400", code)
+	}
+	if code := e.get(t, "/v1/jobs/j-99999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", code)
+	}
+
+	// Fill the worker and the queue, then trip backpressure.
+	var running JobStatus
+	if code, _ := e.post(t, "/v1/jobs", []byte(`{"scheme":"d-oram","benchmark":"face","k":1,"seed":1}`), &running); code != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d", code)
+	}
+	<-started
+	if code, _ := e.post(t, "/v1/jobs", []byte(`{"scheme":"d-oram","benchmark":"face","k":1,"seed":2}`), nil); code != http.StatusAccepted {
+		t.Fatalf("submit 2: HTTP %d", code)
+	}
+	code, hdr := e.post(t, "/v1/jobs", []byte(`{"scheme":"d-oram","benchmark":"face","k":1,"seed":3}`), nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("queue full: HTTP %d, want 429", code)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("queue full Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
+	}
+
+	// A result fetched before completion is a 409 conflict.
+	if code := e.get(t, "/v1/jobs/"+running.ID+"/result", nil); code != http.StatusConflict {
+		t.Errorf("premature result: HTTP %d, want 409", code)
+	}
+	// Cancel over HTTP reflects the new state in the response.
+	var cancelled JobStatus
+	if code, _ := e.post(t, "/v1/jobs/"+running.ID+"/cancel", nil, &cancelled); code != http.StatusOK {
+		t.Errorf("cancel: HTTP %d", code)
+	}
+	e.waitDone(t, running.ID)
+}
+
+// TestE2EMetricsEndpoint: a spec with metrics enabled serves its dump on
+// /v1/jobs/{id}/metrics; one without gets a 404 explaining why.
+func TestE2EMetricsEndpoint(t *testing.T) {
+	e := startE2E(t, Config{Workers: 1})
+
+	var withM JobStatus
+	if code, _ := e.post(t, "/v1/jobs", []byte(`{"scheme":"d-oram","benchmark":"face","k":1,"trace_len":2000,"metrics":true}`), &withM); code != http.StatusAccepted {
+		t.Fatalf("submit metrics job: HTTP %d", code)
+	}
+	if st := e.waitDone(t, withM.ID); st.State != StateDone {
+		t.Fatalf("metrics job ended %s (%s)", st.State, st.Error)
+	}
+	var dump struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if code := e.get(t, "/v1/jobs/"+withM.ID+"/metrics", &dump); code != http.StatusOK {
+		t.Fatalf("metrics fetch: HTTP %d", code)
+	}
+	if len(dump.Counters) == 0 {
+		t.Errorf("metrics dump has no counters")
+	}
+
+	var withoutM JobStatus
+	if code, _ := e.post(t, "/v1/jobs", []byte(`{"scheme":"d-oram","benchmark":"face","k":1,"trace_len":2000}`), &withoutM); code != http.StatusAccepted {
+		t.Fatalf("submit plain job: HTTP %d", code)
+	}
+	e.waitDone(t, withoutM.ID)
+	if code := e.get(t, "/v1/jobs/"+withoutM.ID+"/metrics", nil); code != http.StatusNotFound {
+		t.Errorf("metrics for metrics-less job: HTTP %d, want 404", code)
+	}
+}

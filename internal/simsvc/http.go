@@ -1,0 +1,231 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"doram"
+)
+
+// Handler returns the service's HTTP/JSON API:
+//
+//	POST /v1/jobs             submit one job spec        → JobStatus
+//	POST /v1/sweeps           submit a batch of specs    → SweepResponse
+//	GET  /v1/jobs/{id}        job status snapshot        → JobStatus
+//	GET  /v1/jobs/{id}/result finished job's result      → doram.SimResult
+//	GET  /v1/jobs/{id}/metrics finished job's metric dump → metrics.Dump
+//	POST /v1/jobs/{id}/cancel request cancellation       → JobStatus
+//	GET  /healthz             liveness (503 once draining)
+//	GET  /varz                metric registry dump
+//
+// Service errors map onto status codes by kind: invalid specs → 400,
+// unknown jobs → 404, queue-full → 429 with a Retry-After header,
+// draining → 503, state conflicts → 409, failed jobs → 500.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a write error means the client hung up; nothing to do
+}
+
+// writeError maps a service error to its transport representation.
+func writeError(w http.ResponseWriter, err error) {
+	var se *Error
+	if !errors.As(err, &se) {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	code := http.StatusInternalServerError
+	switch se.Kind {
+	case ErrInvalid:
+		code = http.StatusBadRequest
+	case ErrNotFound:
+		code = http.StatusNotFound
+	case ErrQueueFull:
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(se.RetryAfter.Seconds()+0.5)))
+	case ErrDraining:
+		code = http.StatusServiceUnavailable
+	case ErrConflict:
+		code = http.StatusConflict
+	case ErrFailed:
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, apiError{Error: se.Msg})
+}
+
+// maxSpecBytes bounds request bodies; job specs are small JSON documents.
+const maxSpecBytes = 1 << 20
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, &Error{Kind: ErrInvalid, Msg: fmt.Sprintf("simsvc: reading spec: %v", err)})
+		return
+	}
+	spec, err := doram.ParamsFromJSON(body)
+	if err != nil {
+		writeError(w, &Error{Kind: ErrInvalid, Msg: err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// SweepRequest is a batch submission: one spec per element.
+type SweepRequest struct {
+	Specs []json.RawMessage `json:"specs"`
+}
+
+// SweepResponse reports per-spec outcomes in request order. Jobs holds a
+// status for every accepted spec; Errors holds a message for every
+// rejected one (empty string for accepted slots), and Rejected counts
+// them. A partially rejected sweep returns 429 when any rejection was
+// backpressure, else 400.
+type SweepResponse struct {
+	Jobs     []*JobStatus `json:"jobs"`
+	Errors   []string     `json:"errors,omitempty"`
+	Rejected int          `json:"rejected"`
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, &Error{Kind: ErrInvalid, Msg: fmt.Sprintf("simsvc: reading sweep: %v", err)})
+		return
+	}
+	var req SweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, &Error{Kind: ErrInvalid, Msg: fmt.Sprintf("simsvc: decoding sweep: %v", err)})
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, &Error{Kind: ErrInvalid, Msg: "simsvc: sweep has no specs"})
+		return
+	}
+	resp := SweepResponse{
+		Jobs:   make([]*JobStatus, len(req.Specs)),
+		Errors: make([]string, len(req.Specs)),
+	}
+	backpressured := false
+	var retryAfter string
+	for i, raw := range req.Specs {
+		spec, err := doram.ParamsFromJSON(raw)
+		if err != nil {
+			resp.Errors[i] = err.Error()
+			resp.Rejected++
+			continue
+		}
+		job, err := s.Submit(spec)
+		if err != nil {
+			resp.Errors[i] = err.Error()
+			resp.Rejected++
+			var se *Error
+			if errors.As(err, &se) && se.Kind == ErrQueueFull {
+				backpressured = true
+				retryAfter = strconv.Itoa(int(se.RetryAfter.Seconds() + 0.5))
+			}
+			continue
+		}
+		st := job.Status()
+		resp.Jobs[i] = &st
+	}
+	code := http.StatusAccepted
+	switch {
+	case backpressured:
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfter)
+	case resp.Rejected == len(req.Specs):
+		code = http.StatusBadRequest
+	case resp.Rejected > 0:
+		code = http.StatusAccepted // partial success still accepted
+	}
+	if resp.Rejected == 0 {
+		resp.Errors = nil
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	dump, err := s.Metrics(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dump)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Dump().WriteJSON(w); err != nil {
+		// Header already sent; nothing recoverable.
+		return
+	}
+}

@@ -1,0 +1,579 @@
+// Package simsvc turns the one-shot simulator into a simulation job
+// service: a bounded FIFO queue with backpressure, a worker pool running
+// jobs through the public doram.SimulateContext path (with per-job
+// timeout, panic isolation and cooperative cancellation), an LRU result
+// cache keyed by the canonical spec hash, and single-flight coalescing of
+// concurrent duplicate specs. The HTTP/JSON front end lives in http.go;
+// cmd/doramd serves it and cmd/doramctl drives it.
+//
+// Job lifecycle (DESIGN.md §12):
+//
+//	queued ──▶ running ──▶ done
+//	   │           │  └───▶ failed     (error, panic, timeout)
+//	   └───────────┴──────▶ cancelled  (client request or drain)
+//
+// A submission whose canonical spec hash matches a cached result completes
+// immediately (queued ▶ done, CacheHit). One matching a queued or running
+// job attaches to it as a follower (Coalesced) and shares its fate.
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"doram"
+	"doram/internal/metrics"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Transition is one recorded state change. The history makes lifecycle
+// transitions observable after the fact — a client polling a fast job
+// still sees that it passed through queued and running.
+type Transition struct {
+	State State     `json:"state"`
+	At    time.Time `json:"at"`
+}
+
+// ErrorKind classifies service errors for transport mapping.
+type ErrorKind int
+
+// Error kinds.
+const (
+	ErrInvalid   ErrorKind = iota // malformed or unrunnable spec
+	ErrNotFound                   // unknown job id
+	ErrQueueFull                  // backpressure: retry after RetryAfter
+	ErrDraining                   // service is shutting down
+	ErrConflict                   // operation invalid in the job's state
+	ErrFailed                     // job reached the failed state
+)
+
+// Error is a service error carrying its kind and, for ErrQueueFull, a
+// suggested retry delay derived from queue depth and observed job times.
+type Error struct {
+	Kind       ErrorKind
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Config tunes a Service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the FIFO job queue; submissions beyond it are
+	// rejected with ErrQueueFull. 0 means 64.
+	QueueDepth int
+	// CacheEntries sizes the LRU result cache; 0 means 128, negative
+	// disables caching.
+	CacheEntries int
+	// JobTimeout bounds one simulation's wall time; 0 means 5 minutes.
+	JobTimeout time.Duration
+	// MaxTraceLen caps the admitted per-core trace length (an admission
+	// control against queue-clogging jobs); 0 means 2,000,000.
+	MaxTraceLen uint64
+	// Registry receives the service counters; nil builds a private one.
+	// Only concurrency-safe instruments are registered, so the registry
+	// may be dumped (GET /varz) while jobs run.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxTraceLen == 0 {
+		c.MaxTraceLen = 2_000_000
+	}
+	return c
+}
+
+// Job is one submitted simulation. All mutable state is guarded by the
+// owning service's lock; read it through Status / Result or wait on Done.
+type Job struct {
+	svc  *Service
+	id   string
+	spec doram.Params // canonical
+	hash string
+
+	state     State
+	history   []Transition
+	errMsg    string
+	result    *doram.SimResult
+	cacheHit  bool
+	coalesced bool
+
+	leader    *Job   // non-nil on followers
+	followers []*Job // on leaders
+
+	cancelRequested bool
+	cancelRun       context.CancelFunc // set while running
+
+	done chan struct{} // closed on terminal transition
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() JobStatus {
+	j.svc.mu.Lock()
+	defer j.svc.mu.Unlock()
+	return j.statusLocked()
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID       string       `json:"id"`
+	State    State        `json:"state"`
+	SpecHash string       `json:"spec_hash"`
+	Spec     doram.Params `json:"spec"`
+	// CacheHit marks a job served from the result cache without
+	// simulating; Coalesced one that attached to an identical in-flight
+	// job (single-flight) and shares its outcome.
+	CacheHit  bool         `json:"cache_hit,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	History   []Transition `json:"history"`
+}
+
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		SpecHash:  j.hash,
+		Spec:      j.spec,
+		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
+		Error:     j.errMsg,
+		History:   append([]Transition(nil), j.history...),
+	}
+	return st
+}
+
+// Service is the simulation job service.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job // canonical spec hash -> queued/running leader
+	cache    *resultCache
+	seq      uint64
+	running  int
+	draining bool
+	ewmaSec  float64 // smoothed job wall time, drives Retry-After
+
+	queue      chan *Job
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	reg *metrics.Registry
+	// Counters; all concurrency-safe (see Config.Registry).
+	submitted, completed, failed, cancelled, rejected *metrics.SyncCounter
+	cacheHits, cacheMisses, coalescedCtr              *metrics.SyncCounter
+	simRuns, simPanics                                *metrics.SyncCounter
+
+	// runSim is the simulation entry point; tests substitute it to make
+	// pool behaviour (blocking, panicking) deterministic.
+	runSim func(context.Context, doram.SimConfig) (*doram.SimResult, error)
+}
+
+// New builds a service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.New()
+	}
+	s := &Service{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		cache:    newResultCache(cfg.CacheEntries),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		reg:      reg,
+		runSim:   doram.SimulateContext,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.submitted = reg.SyncCounter("simsvc.jobs.submitted")
+	s.completed = reg.SyncCounter("simsvc.jobs.completed")
+	s.failed = reg.SyncCounter("simsvc.jobs.failed")
+	s.cancelled = reg.SyncCounter("simsvc.jobs.cancelled")
+	s.rejected = reg.SyncCounter("simsvc.jobs.rejected")
+	s.cacheHits = reg.SyncCounter("simsvc.cache.hits")
+	s.cacheMisses = reg.SyncCounter("simsvc.cache.misses")
+	s.coalescedCtr = reg.SyncCounter("simsvc.jobs.coalesced")
+	s.simRuns = reg.SyncCounter("simsvc.sim.runs")
+	s.simPanics = reg.SyncCounter("simsvc.sim.panics")
+	reg.CounterFunc("simsvc.queue.depth", func() uint64 { return uint64(len(s.queue)) })
+	reg.CounterFunc("simsvc.jobs.running", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(s.running)
+	})
+	reg.CounterFunc("simsvc.cache.entries", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(s.cache.len())
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the service's metric registry (the /varz source).
+func (s *Service) Registry() *metrics.Registry { return s.reg }
+
+// Draining reports whether the service has begun shutting down.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit admits one job. The spec is canonicalized and validated; the
+// returned job may already be terminal (cache hit). ErrQueueFull carries a
+// Retry-After estimate; ErrDraining rejects submissions during shutdown.
+func (s *Service) Submit(spec doram.Params) (*Job, error) {
+	p := spec.Canonical()
+	if err := p.Validate(); err != nil {
+		return nil, &Error{Kind: ErrInvalid, Msg: err.Error()}
+	}
+	if p.TraceLen > s.cfg.MaxTraceLen {
+		return nil, &Error{Kind: ErrInvalid,
+			Msg: fmt.Sprintf("simsvc: trace_len %d above the service cap %d", p.TraceLen, s.cfg.MaxTraceLen)}
+	}
+	hash := p.Hash()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, &Error{Kind: ErrDraining, Msg: "simsvc: draining, not accepting jobs"}
+	}
+	s.submitted.Inc()
+
+	if res, ok := s.cache.get(hash); ok {
+		job := s.newJobLocked(p, hash)
+		job.cacheHit = true
+		job.result = res
+		s.transitionLocked(job, StateDone)
+		s.cacheHits.Inc()
+		s.completed.Inc()
+		return job, nil
+	}
+
+	if leader := s.inflight[hash]; leader != nil && !leader.cancelRequested {
+		job := s.newJobLocked(p, hash)
+		job.coalesced = true
+		job.leader = leader
+		leader.followers = append(leader.followers, job)
+		if leader.state == StateRunning {
+			s.transitionLocked(job, StateRunning)
+		}
+		s.coalescedCtr.Inc()
+		return job, nil
+	}
+
+	job := s.newJobLocked(p, hash)
+	select {
+	case s.queue <- job:
+		s.inflight[hash] = job
+		s.cacheMisses.Inc()
+		return job, nil
+	default:
+		delete(s.jobs, job.id)
+		s.rejected.Inc()
+		return nil, &Error{Kind: ErrQueueFull,
+			Msg:        fmt.Sprintf("simsvc: queue full (%d jobs)", s.cfg.QueueDepth),
+			RetryAfter: s.retryAfterLocked()}
+	}
+}
+
+// newJobLocked registers a fresh job in the queued state.
+func (s *Service) newJobLocked(spec doram.Params, hash string) *Job {
+	s.seq++
+	job := &Job{
+		svc:  s,
+		id:   fmt.Sprintf("j-%08d", s.seq),
+		spec: spec,
+		hash: hash,
+		done: make(chan struct{}),
+	}
+	job.state = StateQueued
+	job.history = []Transition{{State: StateQueued, At: time.Now()}}
+	s.jobs[job.id] = job
+	return job
+}
+
+// transitionLocked records a state change; terminal states close Done.
+func (s *Service) transitionLocked(job *Job, to State) {
+	job.state = to
+	job.history = append(job.history, Transition{State: to, At: time.Now()})
+	if to.Terminal() {
+		close(job.done)
+	}
+}
+
+// finalizeLocked moves a job and its live followers to a terminal state.
+func (s *Service) finalizeLocked(job *Job, to State, res *doram.SimResult, errMsg string) {
+	targets := append([]*Job{job}, job.followers...)
+	for _, t := range targets {
+		if t.state.Terminal() {
+			continue // e.g. a follower cancelled individually
+		}
+		t.result = res
+		t.errMsg = errMsg
+		s.transitionLocked(t, to)
+		switch to {
+		case StateDone:
+			s.completed.Inc()
+		case StateFailed:
+			s.failed.Inc()
+		case StateCancelled:
+			s.cancelled.Inc()
+		}
+	}
+}
+
+// retryAfterLocked estimates when queue capacity will free up: pending
+// work over pool width at the smoothed job duration, clamped to [1s, 60s].
+func (s *Service) retryAfterLocked() time.Duration {
+	per := s.ewmaSec
+	if per <= 0 {
+		per = 1
+	}
+	pending := len(s.queue) + s.running
+	est := time.Duration(per*float64(pending)/float64(s.cfg.Workers)*float64(time.Second) + float64(time.Second-1))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+func (s *Service) updateEWMALocked(d time.Duration) {
+	const alpha = 0.3
+	sec := d.Seconds()
+	if s.ewmaSec == 0 {
+		s.ewmaSec = sec
+		return
+	}
+	s.ewmaSec = alpha*sec + (1-alpha)*s.ewmaSec
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued leader end to end.
+func (s *Service) runJob(job *Job) {
+	s.mu.Lock()
+	if job.state.Terminal() { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	job.cancelRun = cancel
+	s.transitionLocked(job, StateRunning)
+	for _, f := range job.followers {
+		if !f.state.Terminal() {
+			s.transitionLocked(f, StateRunning)
+		}
+	}
+	s.running++
+	s.mu.Unlock()
+
+	s.simRuns.Inc()
+	start := time.Now()
+	res, err := s.safeRun(ctx, job.spec.SimConfig())
+	cancel()
+	dur := time.Since(start)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	job.cancelRun = nil
+	if s.inflight[job.hash] == job {
+		delete(s.inflight, job.hash)
+	}
+	switch {
+	case err == nil:
+		s.cache.put(job.hash, res)
+		s.updateEWMALocked(dur)
+		s.finalizeLocked(job, StateDone, res, "")
+	case errors.Is(err, context.Canceled):
+		s.finalizeLocked(job, StateCancelled, nil, "simsvc: cancelled mid-run")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finalizeLocked(job, StateFailed, nil,
+			fmt.Sprintf("simsvc: timed out after %s", s.cfg.JobTimeout))
+	default:
+		s.finalizeLocked(job, StateFailed, nil, err.Error())
+	}
+}
+
+// safeRun isolates a panicking simulation: the job fails, the worker (and
+// server) survive.
+func (s *Service) safeRun(ctx context.Context, cfg doram.SimConfig) (res *doram.SimResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.simPanics.Inc()
+			res, err = nil, fmt.Errorf("simsvc: simulation panicked: %v", r)
+		}
+	}()
+	return s.runSim(ctx, cfg)
+}
+
+// Cancel requests cancellation of a job. Queued jobs cancel immediately;
+// running jobs abort cooperatively within a few thousand simulated loop
+// iterations. Cancelling a coalesced follower detaches only that follower;
+// cancelling a leader takes its followers with it (they subscribed to a
+// simulation that will now never produce a result). Terminal jobs are
+// left untouched (idempotent success).
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return &Error{Kind: ErrNotFound, Msg: fmt.Sprintf("simsvc: unknown job %q", id)}
+	}
+	if job.state.Terminal() {
+		return nil
+	}
+	job.cancelRequested = true
+	switch {
+	case job.leader != nil: // follower: detach quietly
+		s.finalizeLocked(job, StateCancelled, nil, "simsvc: cancelled by client")
+	case job.cancelRun != nil: // running leader: worker finalizes
+		job.cancelRun()
+	default: // queued leader
+		if s.inflight[job.hash] == job {
+			delete(s.inflight, job.hash)
+		}
+		s.finalizeLocked(job, StateCancelled, nil, "simsvc: cancelled by client")
+	}
+	return nil
+}
+
+// Status returns a job snapshot.
+func (s *Service) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, &Error{Kind: ErrNotFound, Msg: fmt.Sprintf("simsvc: unknown job %q", id)}
+	}
+	return job.statusLocked(), nil
+}
+
+// Result returns a finished job's result. Non-terminal jobs yield
+// ErrConflict ("not done yet"), failed ones ErrFailed, cancelled ones
+// ErrConflict.
+func (s *Service) Result(id string) (*doram.SimResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, &Error{Kind: ErrNotFound, Msg: fmt.Sprintf("simsvc: unknown job %q", id)}
+	}
+	switch job.state {
+	case StateDone:
+		return job.result, nil
+	case StateFailed:
+		return nil, &Error{Kind: ErrFailed, Msg: job.errMsg}
+	default:
+		return nil, &Error{Kind: ErrConflict,
+			Msg: fmt.Sprintf("simsvc: job %s is %s, result not available", id, job.state)}
+	}
+}
+
+// Metrics returns a finished job's metric dump, if its spec enabled the
+// observability subsystem.
+func (s *Service) Metrics(id string) (*doram.MetricsDump, error) {
+	res, err := s.Result(id)
+	if err != nil {
+		return nil, err
+	}
+	if res.Metrics == nil {
+		return nil, &Error{Kind: ErrNotFound,
+			Msg: fmt.Sprintf("simsvc: job %s did not enable metrics (set \"metrics\": true in the spec)", id)}
+	}
+	return res.Metrics, nil
+}
+
+// Close drains the service: new submissions are rejected, queued jobs are
+// cancelled, and running jobs get until ctx's deadline to finish before
+// being aborted cooperatively. It returns nil on a clean drain and the
+// context's error if running jobs had to be aborted.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("simsvc: already closed")
+	}
+	s.draining = true
+	for _, job := range s.jobs {
+		if job.state == StateQueued && job.leader == nil {
+			if s.inflight[job.hash] == job {
+				delete(s.inflight, job.hash)
+			}
+			s.finalizeLocked(job, StateCancelled, nil, "simsvc: server draining")
+		}
+	}
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight simulations; they stop within ~ms
+		<-drained
+		return ctx.Err()
+	}
+}

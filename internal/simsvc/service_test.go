@@ -1,0 +1,503 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"doram"
+)
+
+// specWithSeed returns a valid d-oram spec distinguished by seed.
+func specWithSeed(seed uint64) doram.Params {
+	return doram.Params{Scheme: doram.SchemeDORAM, Benchmark: "face", SplitK: 1, Seed: seed}
+}
+
+// blockingSim returns a runSim stub that signals each start on started,
+// then blocks until release closes or the context ends (returning ctx's
+// error in that case — the same contract as the real simulator).
+func blockingSim(started chan<- string, release <-chan struct{}) func(context.Context, doram.SimConfig) (*doram.SimResult, error) {
+	return func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		if started != nil {
+			started <- cfg.Benchmark
+		}
+		select {
+		case <-release:
+			return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func waitState(t *testing.T, s *Service, id string, want State) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %s (error %q), wanted %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s", id, want)
+	return JobStatus{}
+}
+
+func counter(t *testing.T, s *Service, name string) uint64 {
+	t.Helper()
+	v, ok := s.Registry().CounterValues()[name]
+	if !ok {
+		t.Fatalf("counter %q not registered", name)
+	}
+	return v
+}
+
+func closeService(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Close(ctx)
+}
+
+// TestQueueFullBackpressure: once the queue is full, submissions are
+// rejected with ErrQueueFull and a positive Retry-After, and the rejection
+// is counted — no job is silently dropped.
+func TestQueueFullBackpressure(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	s.runSim = blockingSim(started, release)
+	defer closeService(t, s)
+
+	// Occupy the only worker, then the only queue slot.
+	running, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	<-started // worker has dequeued job 1; queue is empty again
+	if _, err := s.Submit(specWithSeed(2)); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+
+	_, err = s.Submit(specWithSeed(3))
+	var se *Error
+	if !errors.As(err, &se) || se.Kind != ErrQueueFull {
+		t.Fatalf("submit 3: got %v, want ErrQueueFull", err)
+	}
+	if se.RetryAfter < time.Second {
+		t.Errorf("Retry-After %v, want >= 1s", se.RetryAfter)
+	}
+	if got := counter(t, s, "simsvc.jobs.rejected"); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	close(release)
+	<-running.Done()
+	if st := running.Status(); st.State != StateDone {
+		t.Errorf("job 1 finished %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// TestSingleFlightCoalescing: a duplicate of an in-flight spec attaches to
+// the running job instead of simulating twice, and both jobs share the
+// result.
+func TestSingleFlightCoalescing(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 2})
+	s.runSim = blockingSim(started, release)
+	defer closeService(t, s)
+
+	leader, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit leader: %v", err)
+	}
+	<-started
+	follower, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit duplicate: %v", err)
+	}
+	st := follower.Status()
+	if !st.Coalesced {
+		t.Errorf("duplicate not marked coalesced: %+v", st)
+	}
+	if st.State != StateRunning {
+		t.Errorf("follower of a running leader is %s, want running", st.State)
+	}
+
+	close(release)
+	<-leader.Done()
+	<-follower.Done()
+	lr, err := s.Result(leader.ID())
+	if err != nil {
+		t.Fatalf("leader result: %v", err)
+	}
+	fr, err := s.Result(follower.ID())
+	if err != nil {
+		t.Fatalf("follower result: %v", err)
+	}
+	if lr != fr {
+		t.Errorf("leader and follower hold different result objects")
+	}
+	if got := counter(t, s, "simsvc.sim.runs"); got != 1 {
+		t.Errorf("sim.runs = %d, want 1 (duplicate must not re-simulate)", got)
+	}
+	if got := counter(t, s, "simsvc.jobs.coalesced"); got != 1 {
+		t.Errorf("jobs.coalesced = %d, want 1", got)
+	}
+}
+
+// TestCacheHit: resubmitting a completed spec is served from the LRU cache
+// — terminal immediately, same result object, no second simulation.
+func TestCacheHit(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.runSim = func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+	}
+	defer closeService(t, s)
+
+	first, err := s.Submit(specWithSeed(7))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-first.Done()
+
+	second, err := s.Submit(specWithSeed(7))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	st := second.Status()
+	if st.State != StateDone || !st.CacheHit {
+		t.Fatalf("resubmit state %s cacheHit=%v, want immediate cached done", st.State, st.CacheHit)
+	}
+	r1, _ := s.Result(first.ID())
+	r2, _ := s.Result(second.ID())
+	if r1 != r2 {
+		t.Errorf("cache hit returned a different result object")
+	}
+	if got := counter(t, s, "simsvc.cache.hits"); got != 1 {
+		t.Errorf("cache.hits = %d, want 1", got)
+	}
+	if got := counter(t, s, "simsvc.sim.runs"); got != 1 {
+		t.Errorf("sim.runs = %d, want 1", got)
+	}
+}
+
+// TestPanicIsolation: a panicking simulation fails its job but neither
+// kills the worker nor the process — the next job still runs.
+func TestPanicIsolation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	calls := 0
+	s.runSim = func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		calls++
+		if calls == 1 {
+			panic("rng state corrupted")
+		}
+		return &doram.SimResult{}, nil
+	}
+	defer closeService(t, s)
+
+	bad, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-bad.Done()
+	st := bad.Status()
+	if st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("panicking job: state %s error %q, want failed/panicked", st.State, st.Error)
+	}
+	if got := counter(t, s, "simsvc.sim.panics"); got != 1 {
+		t.Errorf("sim.panics = %d, want 1", got)
+	}
+
+	good, err := s.Submit(specWithSeed(2))
+	if err != nil {
+		t.Fatalf("submit after panic: %v", err)
+	}
+	<-good.Done()
+	if st := good.Status(); st.State != StateDone {
+		t.Errorf("job after panic finished %s (%s), want done — worker died?", st.State, st.Error)
+	}
+}
+
+// TestCancelQueued: cancelling a job still in the queue is immediate and
+// the worker later skips its corpse.
+func TestCancelQueued(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	s.runSim = blockingSim(started, release)
+	defer closeService(t, s)
+
+	if _, err := s.Submit(specWithSeed(1)); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started
+	queued, err := s.Submit(specWithSeed(2))
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	if err := s.Cancel(queued.ID()); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	st := queued.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled queued job is %s, want cancelled", st.State)
+	}
+	for _, tr := range st.History {
+		if tr.State == StateRunning {
+			t.Errorf("cancelled-while-queued job recorded a running transition")
+		}
+	}
+
+	close(release)
+	select {
+	case <-started: // the worker must NOT start the cancelled job
+		t.Errorf("worker ran a job cancelled while queued")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := counter(t, s, "simsvc.jobs.cancelled"); got != 1 {
+		t.Errorf("jobs.cancelled = %d, want 1", got)
+	}
+}
+
+// TestCancelMidRunRealSim drives the real simulator: a long run is
+// cancelled cooperatively partway through via core.Config.Stop polling.
+func TestCancelMidRunRealSim(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer closeService(t, s)
+
+	// A long job: 2M accesses takes many seconds uncancelled.
+	spec := doram.Params{Scheme: doram.SchemeDORAM, Benchmark: "face", SplitK: 1, TraceLen: 2_000_000}
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, s, job.ID(), StateRunning)
+	if err := s.Cancel(job.ID()); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("running job did not stop within 10s of cancellation")
+	}
+	st := job.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled run ended %s (%s), want cancelled", st.State, st.Error)
+	}
+	if _, err := s.Result(job.ID()); err == nil {
+		t.Errorf("cancelled job handed out a result")
+	}
+}
+
+// TestJobTimeout: a run exceeding JobTimeout fails with a timeout error.
+func TestJobTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, JobTimeout: 20 * time.Millisecond})
+	s.runSim = blockingSim(nil, nil) // blocks until ctx deadline
+	defer closeService(t, s)
+
+	job, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-job.Done()
+	st := job.Status()
+	if st.State != StateFailed || !strings.Contains(st.Error, "timed out") {
+		t.Errorf("timed-out job: state %s error %q", st.State, st.Error)
+	}
+}
+
+// TestCancelLeaderCancelsFollowers: followers subscribed to a cancelled
+// leader cannot ever get a result, so they cancel with it.
+func TestCancelLeaderCancelsFollowers(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1})
+	s.runSim = blockingSim(started, release)
+	defer closeService(t, s)
+	defer close(release)
+
+	leader, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit leader: %v", err)
+	}
+	<-started
+	follower, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit follower: %v", err)
+	}
+	if err := s.Cancel(leader.ID()); err != nil {
+		t.Fatalf("cancel leader: %v", err)
+	}
+	<-follower.Done()
+	if st := follower.Status(); st.State != StateCancelled {
+		t.Errorf("follower of cancelled leader is %s, want cancelled", st.State)
+	}
+}
+
+// TestCancelFollowerLeavesLeader: the inverse — detaching one subscriber
+// must not abort the shared simulation.
+func TestCancelFollowerLeavesLeader(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1})
+	s.runSim = blockingSim(started, release)
+	defer closeService(t, s)
+
+	leader, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit leader: %v", err)
+	}
+	<-started
+	follower, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit follower: %v", err)
+	}
+	if err := s.Cancel(follower.ID()); err != nil {
+		t.Fatalf("cancel follower: %v", err)
+	}
+	if st := follower.Status(); st.State != StateCancelled {
+		t.Fatalf("cancelled follower is %s", st.State)
+	}
+
+	close(release)
+	<-leader.Done()
+	if st := leader.Status(); st.State != StateDone {
+		t.Errorf("leader finished %s after follower cancel, want done", st.State)
+	}
+}
+
+// TestDrain: Close cancels queued jobs, lets running ones finish, and
+// rejects new submissions.
+func TestDrain(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	s.runSim = blockingSim(started, release)
+
+	running, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit running: %v", err)
+	}
+	<-started
+	queued, err := s.Submit(specWithSeed(2))
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		closed <- s.Close(ctx)
+	}()
+
+	// Draining: queued jobs cancel promptly, new submissions bounce.
+	<-queued.Done()
+	if st := queued.Status(); st.State != StateCancelled || !strings.Contains(st.Error, "draining") {
+		t.Errorf("queued job at drain: %s (%s)", st.State, st.Error)
+	}
+	var se *Error
+	if _, err := s.Submit(specWithSeed(3)); !errors.As(err, &se) || se.Kind != ErrDraining {
+		t.Errorf("submit during drain: got %v, want ErrDraining", err)
+	}
+
+	close(release) // let the running job finish cleanly
+	if err := <-closed; err != nil {
+		t.Errorf("clean drain returned %v", err)
+	}
+	if st := running.Status(); st.State != StateDone {
+		t.Errorf("running job at drain finished %s, want done", st.State)
+	}
+}
+
+// TestDrainDeadlineAborts: when the drain deadline passes, in-flight runs
+// are force-aborted rather than held forever.
+func TestDrainDeadlineAborts(t *testing.T) {
+	started := make(chan string, 8)
+	s := New(Config{Workers: 1})
+	s.runSim = blockingSim(started, nil) // never releases; only ctx can end it
+
+	job, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want deadline exceeded", err)
+	}
+	if st := job.Status(); !st.State.Terminal() {
+		t.Errorf("job still %s after forced drain", st.State)
+	}
+}
+
+// TestSubmitRejections covers admission control: invalid specs and
+// over-cap trace lengths never reach the queue.
+func TestSubmitRejections(t *testing.T) {
+	s := New(Config{Workers: 1, MaxTraceLen: 1000})
+	defer closeService(t, s)
+
+	var se *Error
+	if _, err := s.Submit(doram.Params{Scheme: "quantum", Benchmark: "face"}); !errors.As(err, &se) || se.Kind != ErrInvalid {
+		t.Errorf("bad scheme: got %v, want ErrInvalid", err)
+	}
+	if _, err := s.Submit(doram.Params{Scheme: doram.SchemeDORAM, Benchmark: "face", TraceLen: 5000}); !errors.As(err, &se) || se.Kind != ErrInvalid {
+		t.Errorf("over-cap trace_len: got %v, want ErrInvalid", err)
+	}
+	if _, err := s.Status("j-99999999"); !errors.As(err, &se) || se.Kind != ErrNotFound {
+		t.Errorf("unknown id: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestLRUEviction: the cache holds at most CacheEntries results and evicts
+// the least recently used spec.
+func TestLRUEviction(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 2})
+	s.runSim = func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+	}
+	defer closeService(t, s)
+
+	run := func(seed uint64) {
+		t.Helper()
+		j, err := s.Submit(specWithSeed(seed))
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		<-j.Done()
+	}
+	run(1)
+	run(2)
+	run(1) // refresh seed 1 so seed 2 is now LRU
+	run(3) // evicts seed 2
+
+	j, err := s.Submit(specWithSeed(2))
+	if err != nil {
+		t.Fatalf("resubmit seed 2: %v", err)
+	}
+	<-j.Done()
+	if j.Status().CacheHit {
+		t.Errorf("evicted spec still served from cache")
+	}
+	// Re-running seed 2 cached it again, evicting seed 1; seed 3 survives.
+	j, err = s.Submit(specWithSeed(3))
+	if err != nil {
+		t.Fatalf("resubmit seed 3: %v", err)
+	}
+	if !j.Status().CacheHit {
+		t.Errorf("recently used spec was evicted")
+	}
+}

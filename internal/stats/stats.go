@@ -69,6 +69,18 @@ func (l *Latency) Mean() float64 {
 	return float64(l.sum) / float64(l.count)
 }
 
+// LatencyFromParts reconstructs an aggregate from its exported parts
+// (Count/Sum/Min/Max) — the inverse of reading them out, used when a
+// latency stream crosses a serialization boundary (the doramd wire format)
+// and must be rebuilt without loss. A zero count yields the zero Latency
+// regardless of the other parts.
+func LatencyFromParts(count, sum, min, max uint64) Latency {
+	if count == 0 {
+		return Latency{}
+	}
+	return Latency{count: count, sum: sum, min: min, max: max}
+}
+
 // Merge folds other into l as if all of other's samples had been observed
 // on l directly.
 func (l *Latency) Merge(other Latency) {

@@ -1,0 +1,283 @@
+package doram
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Params is the canonical, JSON-serializable form of a simulation
+// configuration — the job-spec payload of the doramd service and the wire
+// contract of its HTTP API. It mirrors SimConfig with two differences:
+// fields whose zero value is meaningful (NumNS, HasSApp, C) are pointers so
+// that "omitted" and "zero" stay distinguishable, and server-side file
+// paths (SimConfig.TraceDir) are deliberately unrepresentable.
+//
+// Two Params describe the same simulation exactly when their Canonical
+// forms are equal, and Hash is defined over that canonical form — so a
+// spec's hash is invariant under JSON field reordering and under spelling
+// out defaults the canonicalization would fill anyway. Equal hashes mean
+// equal results: runs are deterministic in the spec and seed (the
+// differential suite enforces bit-identical replay), which is what makes
+// the doramd result cache sound.
+type Params struct {
+	Scheme    Scheme `json:"scheme"`
+	Benchmark string `json:"benchmark"`
+
+	// NumNS is the number of NS-App copies; omitted means the paper's 7.
+	NumNS *int `json:"num_ns,omitempty"`
+	// HasSApp runs an S-App; omitted means true for every scheme except
+	// non-secure.
+	HasSApp *bool `json:"has_sapp,omitempty"`
+	// NumS runs multiple S-App copies (0 with HasSApp means 1).
+	NumS int `json:"num_s,omitempty"`
+	// SplitK is D-ORAM's tree-split depth k (0-3).
+	SplitK int `json:"k,omitempty"`
+	// C is D-ORAM's secure-channel sharing limit; omitted means AllNS.
+	C *int `json:"c,omitempty"`
+	// NSChannels restricts NS-Apps to a channel subset; empty means all.
+	NSChannels []int `json:"ns_channels,omitempty"`
+
+	// TraceLen is the memory accesses each core replays; omitted means
+	// the default 20000.
+	TraceLen uint64 `json:"trace_len,omitempty"`
+	// Seed drives all randomness; omitted means 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// LatencyWarmup discards each latency stream's first N observations.
+	LatencyWarmup uint64 `json:"latency_warmup,omitempty"`
+
+	// Pace is the timing-protection interval t; omitted means 50.
+	Pace uint64 `json:"pace,omitempty"`
+	// CoopThreshold is the ORAM bandwidth-preallocation share; omitted
+	// means 0.5.
+	CoopThreshold float64 `json:"coop_threshold,omitempty"`
+	// SubtreeLevels overrides the subtree layout depth; omitted means 7.
+	SubtreeLevels int `json:"subtree_levels,omitempty"`
+	// LinkLatencyNs overrides the BOB link latency; omitted means 15 ns.
+	LinkLatencyNs float64 `json:"link_latency_ns,omitempty"`
+	// MaxCycles bounds the run; omitted means the 2-billion default.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+
+	ForkPath      bool `json:"fork_path,omitempty"`
+	OverlapPhases bool `json:"overlap_phases,omitempty"`
+	DDR4          bool `json:"ddr4,omitempty"`
+	NoFastForward bool `json:"no_fast_forward,omitempty"`
+
+	LinkCorruptProb float64 `json:"link_corrupt_prob,omitempty"`
+	LinkLossProb    float64 `json:"link_loss_prob,omitempty"`
+
+	// Metrics enables the observability registry + timeline; the result
+	// then carries the metric dump. MetricsEpochCycles > 0 implies it.
+	Metrics            bool   `json:"metrics,omitempty"`
+	MetricsEpochCycles uint64 `json:"metrics_epoch_cycles,omitempty"`
+
+	// Trace enables per-access event tracing; the result then carries the
+	// latency-attribution report (span events themselves stay server-side
+	// — they are excluded from result JSON). TraceSample > 1, TraceOramOnly
+	// and TraceTopN > 0 imply it.
+	Trace         bool   `json:"trace,omitempty"`
+	TraceSample   uint64 `json:"trace_sample,omitempty"`
+	TraceOramOnly bool   `json:"trace_oram_only,omitempty"`
+	TraceTopN     int    `json:"trace_top,omitempty"`
+}
+
+// Default spec values, shared with DefaultSimConfig and core.DefaultConfig.
+const (
+	defaultNumNS         = 7
+	defaultTraceLen      = 20000
+	defaultSeed          = 1
+	defaultPace          = 50
+	defaultCoopThreshold = 0.5
+)
+
+// Canonical returns the spec with every omitted field replaced by its
+// default and every implied flag made explicit, so that equivalent specs
+// compare (and hash) equal. It does not validate; see Validate.
+func (p Params) Canonical() Params {
+	c := p
+	if c.NumNS == nil {
+		n := defaultNumNS
+		c.NumNS = &n
+	}
+	if c.HasSApp == nil {
+		h := c.Scheme != SchemeNonSecure
+		c.HasSApp = &h
+	}
+	if c.C == nil {
+		all := AllNS
+		c.C = &all
+	}
+	if len(c.NSChannels) == 0 {
+		c.NSChannels = nil
+	}
+	if c.TraceLen == 0 {
+		c.TraceLen = defaultTraceLen
+	}
+	if c.Seed == 0 {
+		c.Seed = defaultSeed
+	}
+	if c.Pace == 0 {
+		c.Pace = defaultPace
+	}
+	if c.CoopThreshold == 0 {
+		c.CoopThreshold = defaultCoopThreshold
+	}
+	if c.MetricsEpochCycles > 0 {
+		c.Metrics = true
+	}
+	if c.Metrics && c.MetricsEpochCycles == 0 {
+		c.MetricsEpochCycles = DefaultMetricsEpochCycles
+	}
+	if c.TraceSample > 1 || c.TraceOramOnly || c.TraceTopN > 0 {
+		c.Trace = true
+	}
+	if !c.Trace {
+		c.TraceSample, c.TraceOramOnly, c.TraceTopN = 0, false, 0
+	} else if c.TraceSample == 1 {
+		c.TraceSample = 0 // 1 and 0 both mean "every access"
+	}
+	return c
+}
+
+// MarshalJSON emits the canonical form, so serializing a spec normalizes
+// it: unmarshalling the output yields a spec with the same Hash.
+func (p Params) MarshalJSON() ([]byte, error) {
+	type bare Params // drop methods to avoid recursing into MarshalJSON
+	return json.Marshal(bare(p.Canonical()))
+}
+
+// ParamsFromJSON decodes a job spec, rejecting unknown fields (a typoed
+// knob silently defaulting would poison cache keys), and returns its
+// canonical form. The spec is validated.
+func ParamsFromJSON(data []byte) (Params, error) {
+	type bare Params
+	var b bare
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Params{}, fmt.Errorf("doram: params: %w", err)
+	}
+	if err := ensureEOF(dec); err != nil {
+		return Params{}, err
+	}
+	p := Params(b).Canonical()
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// ensureEOF rejects trailing data after the spec document.
+func ensureEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err == nil {
+		return fmt.Errorf("doram: params: trailing data after spec")
+	}
+	return nil
+}
+
+// Validate reports whether the spec describes a runnable simulation, by
+// lowering it through the same path Simulate uses.
+func (p Params) Validate() error {
+	ic, err := p.SimConfig().coreConfig()
+	if err != nil {
+		return err
+	}
+	return ic.Validate()
+}
+
+// Hash returns the spec's stable content hash: the hex SHA-256 of the
+// canonical JSON encoding. Specs that differ only in JSON field order or
+// in spelled-out defaults hash identically; any knob that changes the
+// simulation changes the hash. This is the doramd result-cache key.
+func (p Params) Hash() string {
+	data, err := json.Marshal(p) // canonical by MarshalJSON
+	if err != nil {
+		// Params has no unmarshalable field types; this is unreachable
+		// short of memory corruption.
+		panic(fmt.Sprintf("doram: params hash: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// SimConfig lowers the spec onto a runnable simulation configuration.
+func (p Params) SimConfig() SimConfig {
+	c := p.Canonical()
+	return SimConfig{
+		Scheme:             c.Scheme,
+		Benchmark:          c.Benchmark,
+		NumNS:              *c.NumNS,
+		HasSApp:            *c.HasSApp,
+		NumS:               c.NumS,
+		SplitK:             c.SplitK,
+		SecureSharers:      *c.C,
+		NSChannels:         c.NSChannels,
+		TraceLen:           c.TraceLen,
+		Seed:               c.Seed,
+		LatencyWarmup:      c.LatencyWarmup,
+		Pace:               c.Pace,
+		CoopThreshold:      c.CoopThreshold,
+		SubtreeLevels:      c.SubtreeLevels,
+		LinkLatencyNs:      c.LinkLatencyNs,
+		MaxCycles:          c.MaxCycles,
+		ForkPath:           c.ForkPath,
+		OverlapPhases:      c.OverlapPhases,
+		DDR4:               c.DDR4,
+		NoFastForward:      c.NoFastForward,
+		LinkCorruptProb:    c.LinkCorruptProb,
+		LinkLossProb:       c.LinkLossProb,
+		Metrics:            c.Metrics,
+		MetricsEpochCycles: c.MetricsEpochCycles,
+		Trace:              c.Trace,
+		TraceSample:        c.TraceSample,
+		TraceOramOnly:      c.TraceOramOnly,
+		TraceTopN:          c.TraceTopN,
+	}
+}
+
+// ParamsFromSimConfig lifts a simulation configuration into the canonical
+// spec. It fails for configurations a spec cannot express: recorded-trace
+// replay (TraceDir points into the local filesystem) and the event-ring
+// size override (TraceEventLimit only shapes the untransported span ring).
+func ParamsFromSimConfig(c SimConfig) (Params, error) {
+	if c.TraceDir != "" {
+		return Params{}, fmt.Errorf("doram: params: TraceDir is not expressible in a job spec")
+	}
+	if c.TraceEventLimit != 0 {
+		return Params{}, fmt.Errorf("doram: params: TraceEventLimit is not expressible in a job spec")
+	}
+	numNS, hasS, sharers := c.NumNS, c.HasSApp, c.SecureSharers
+	p := Params{
+		Scheme:             c.Scheme,
+		Benchmark:          c.Benchmark,
+		NumNS:              &numNS,
+		HasSApp:            &hasS,
+		NumS:               c.NumS,
+		SplitK:             c.SplitK,
+		C:                  &sharers,
+		NSChannels:         c.NSChannels,
+		TraceLen:           c.TraceLen,
+		Seed:               c.Seed,
+		LatencyWarmup:      c.LatencyWarmup,
+		Pace:               c.Pace,
+		CoopThreshold:      c.CoopThreshold,
+		SubtreeLevels:      c.SubtreeLevels,
+		LinkLatencyNs:      c.LinkLatencyNs,
+		MaxCycles:          c.MaxCycles,
+		ForkPath:           c.ForkPath,
+		OverlapPhases:      c.OverlapPhases,
+		DDR4:               c.DDR4,
+		NoFastForward:      c.NoFastForward,
+		LinkCorruptProb:    c.LinkCorruptProb,
+		LinkLossProb:       c.LinkLossProb,
+		Metrics:            c.Metrics,
+		MetricsEpochCycles: c.MetricsEpochCycles,
+		Trace:              c.Trace,
+		TraceSample:        c.TraceSample,
+		TraceOramOnly:      c.TraceOramOnly,
+		TraceTopN:          c.TraceTopN,
+	}
+	return p.Canonical(), nil
+}

@@ -1,0 +1,147 @@
+package doram
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParamsHashInvariance: the cache key must not care how the client
+// spelled the spec — field order and spelled-out defaults are cosmetic.
+func TestParamsHashInvariance(t *testing.T) {
+	terse := `{"scheme":"d-oram","benchmark":"face","k":1,"c":4}`
+	// Same spec: fields reordered, defaults written out explicitly.
+	verbose := `{
+		"c": 4,
+		"seed": 1,
+		"benchmark": "face",
+		"trace_len": 20000,
+		"num_ns": 7,
+		"k": 1,
+		"has_sapp": true,
+		"pace": 50,
+		"coop_threshold": 0.5,
+		"scheme": "d-oram"
+	}`
+	a, err := ParamsFromJSON([]byte(terse))
+	if err != nil {
+		t.Fatalf("terse spec: %v", err)
+	}
+	b, err := ParamsFromJSON([]byte(verbose))
+	if err != nil {
+		t.Fatalf("verbose spec: %v", err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Errorf("hash not invariant under reordering/default-filling:\n  %s\n  %s", a.Hash(), b.Hash())
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("canonical forms differ:\n  %+v\n  %+v", a, b)
+	}
+
+	// Implied flags canonicalize too: metrics_epoch_cycles implies metrics,
+	// and trace_sample 1 means the same as unset.
+	c1, err := ParamsFromJSON([]byte(`{"scheme":"path-oram","benchmark":"libq","metrics_epoch_cycles":4096,"trace":true,"trace_sample":1}`))
+	if err != nil {
+		t.Fatalf("implied spec: %v", err)
+	}
+	c2, err := ParamsFromJSON([]byte(`{"scheme":"path-oram","benchmark":"libq","metrics":true,"trace":true}`))
+	if err != nil {
+		t.Fatalf("explicit spec: %v", err)
+	}
+	if c1.Hash() != c2.Hash() {
+		t.Errorf("implied observability flags changed the hash")
+	}
+}
+
+// TestParamsHashSensitivity: every knob that changes the simulation must
+// change the hash.
+func TestParamsHashSensitivity(t *testing.T) {
+	base := Params{Scheme: SchemeDORAM, Benchmark: "face"}
+	seen := map[string]string{base.Hash(): "base"}
+	for name, p := range map[string]Params{
+		"k":       {Scheme: SchemeDORAM, Benchmark: "face", SplitK: 1},
+		"c":       {Scheme: SchemeDORAM, Benchmark: "face", C: intp(4)},
+		"bench":   {Scheme: SchemeDORAM, Benchmark: "libq"},
+		"seed":    {Scheme: SchemeDORAM, Benchmark: "face", Seed: 2},
+		"trace":   {Scheme: SchemeDORAM, Benchmark: "face", TraceLen: 4000},
+		"num_ns":  {Scheme: SchemeDORAM, Benchmark: "face", NumNS: intp(3)},
+		"pace":    {Scheme: SchemeDORAM, Benchmark: "face", Pace: 100},
+		"ddr4":    {Scheme: SchemeDORAM, Benchmark: "face", DDR4: true},
+		"metrics": {Scheme: SchemeDORAM, Benchmark: "face", Metrics: true},
+	} {
+		h := p.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("spec variant %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func intp(v int) *int { return &v }
+
+// TestParamsJSONRoundTrip: MarshalJSON emits the canonical form and
+// ParamsFromJSON reads it back to an identical spec.
+func TestParamsJSONRoundTrip(t *testing.T) {
+	p := Params{Scheme: SchemeDORAM, Benchmark: "mummer", SplitK: 2, C: intp(4),
+		Seed: 9, Metrics: true, TraceTopN: 8, LinkCorruptProb: 0.01}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParamsFromJSON(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back, p.Canonical()) {
+		t.Errorf("round trip drifted:\n  in:  %+v\n  out: %+v", p.Canonical(), back)
+	}
+	if back.Hash() != p.Hash() {
+		t.Errorf("round trip changed the hash")
+	}
+}
+
+// TestParamsFromJSONRejects: unknown fields and invalid specs must not be
+// admitted (a typo silently defaulting would poison cache keys).
+func TestParamsFromJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"scheme":"d-oram","benchmark":"face","splitk":1}`,
+		"trailing data":  `{"scheme":"d-oram","benchmark":"face"} {}`,
+		"bad scheme":     `{"scheme":"quantum","benchmark":"face"}`,
+		"bad benchmark":  `{"scheme":"d-oram","benchmark":"nope"}`,
+		"k out of range": `{"scheme":"d-oram","benchmark":"face","k":7}`,
+		"k off-scheme":   `{"scheme":"path-oram","benchmark":"face","k":1}`,
+		"bad link prob":  `{"scheme":"d-oram","benchmark":"face","link_corrupt_prob":1.5}`,
+	}
+	for name, in := range cases {
+		if _, err := ParamsFromJSON([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+// TestParamsSimConfigRoundTrip: lowering to SimConfig and lifting back is
+// the identity on canonical specs.
+func TestParamsSimConfigRoundTrip(t *testing.T) {
+	p := Params{Scheme: SchemeDORAM, Benchmark: "face", SplitK: 1, C: intp(4),
+		TraceLen: 5000, Seed: 3, Trace: true, TraceOramOnly: true}.Canonical()
+	back, err := ParamsFromSimConfig(p.SimConfig())
+	if err != nil {
+		t.Fatalf("lift: %v", err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Errorf("SimConfig round trip drifted:\n  in:  %+v\n  out: %+v", p, back)
+	}
+
+	if _, err := ParamsFromSimConfig(SimConfig{Scheme: SchemeDORAM, Benchmark: "face", TraceDir: "/tmp/x"}); err == nil {
+		t.Errorf("TraceDir spec lifted without error")
+	}
+}
+
+// TestParamsHashIsHex sanity-checks the hash shape (64 hex chars).
+func TestParamsHashIsHex(t *testing.T) {
+	h := Params{Scheme: SchemePathORAM, Benchmark: "face"}.Hash()
+	if len(h) != 64 || strings.Trim(h, "0123456789abcdef") != "" {
+		t.Errorf("hash %q is not 64 lowercase hex chars", h)
+	}
+}

@@ -1,12 +1,15 @@
 package doram
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"doram/internal/clock"
 	"doram/internal/core"
 	"doram/internal/evtrace"
 	"doram/internal/metrics"
+	"doram/internal/stats"
 	"doram/internal/trace"
 )
 
@@ -69,6 +72,27 @@ type SimConfig struct {
 	OverlapPhases bool
 	// DDR4 swaps DDR3-1600 for DDR4-2400 devices (bank groups).
 	DDR4 bool
+
+	// LatencyWarmup discards each latency stream's first N observations
+	// (cold-start queues and row buffers) from the reported statistics;
+	// execution-time metrics are end-to-end and unaffected. The sweep
+	// runner uses TraceLen/20.
+	LatencyWarmup uint64
+	// Pace is the timing-protection interval t (§III-B) in memory cycles;
+	// 0 uses the paper's 50.
+	Pace uint64
+	// CoopThreshold is the bandwidth-preallocation share for ORAM traffic
+	// on channels it shares with NS-Apps (§IV); 0 uses the paper's 0.5.
+	CoopThreshold float64
+	// SubtreeLevels overrides the ORAM subtree layout depth; 0 uses the
+	// paper's 7. A value of 1 degenerates to the naive level-order layout.
+	SubtreeLevels int
+	// LinkLatencyNs overrides the BOB buffer-logic+link latency; 0 uses
+	// the paper's 15 ns.
+	LinkLatencyNs float64
+	// MaxCycles bounds the run as a livelock safety net; 0 uses the
+	// 2-billion-cycle default.
+	MaxCycles uint64
 
 	// NSChannels restricts NS-Apps to a channel subset (e.g. []int{1,2,3}
 	// for the 7NS-3ch partition). Nil means all four channels.
@@ -208,6 +232,60 @@ type SimResult struct {
 	// LatencyBreakdown is its attribution report, inlined for convenience.
 	Trace            *EventTrace  `json:"-"`
 	LatencyBreakdown *TraceReport `json:",omitempty"`
+	// Raw carries the exact integer aggregates behind the derived summary
+	// fields above, making the serialized result self-sufficient as a wire
+	// format: a remote consumer (the experiments runner targeting a doramd
+	// endpoint) can rebuild the statistics without floating-point loss.
+	Raw *SimRaw `json:",omitempty"`
+}
+
+// LatencyParts is the exact integer aggregate of one latency stream
+// (CPU cycles), sufficient to reconstruct count, sum, mean, min and max.
+type LatencyParts struct {
+	Count uint64
+	Sum   uint64
+	Min   uint64
+	Max   uint64
+}
+
+// SimRaw is the exact-aggregate companion of a SimResult (see
+// SimResult.Raw). All times are CPU cycles.
+type SimRaw struct {
+	// Cycles is the cycle at which the last measured core retired its
+	// final instruction.
+	Cycles uint64
+	// NSInstrs holds each NS core's retired instruction count.
+	NSInstrs []uint64 `json:",omitempty"`
+	// NSRead / NSWrite aggregate NS memory latencies over all cores.
+	NSRead  LatencyParts
+	NSWrite LatencyParts
+	// ChannelRead / ChannelWrite are the per-channel NS latency aggregates.
+	ChannelRead  []LatencyParts `json:",omitempty"`
+	ChannelWrite []LatencyParts `json:",omitempty"`
+	// ChannelEnergyUJ is each channel's DRAM energy (microjoules) and
+	// ChannelRowHitRate its approximate row-buffer hit rate.
+	ChannelEnergyUJ   []float64 `json:",omitempty"`
+	ChannelRowHitRate []float64 `json:",omitempty"`
+	// ORAM carries the S-App executor aggregates (nil without an S-App).
+	ORAM *ORAMRaw `json:",omitempty"`
+}
+
+// ORAMRaw is the exact aggregate of the first S-App's ORAM execution.
+type ORAMRaw struct {
+	// Accesses counts completed ORAM accesses; Real of those carried a
+	// program request and Dummy kept the access pace.
+	Accesses uint64
+	Real     uint64
+	Dummy    uint64
+	// RemoteBlocks counts blocks moved to/from the normal channels by the
+	// +k tree split.
+	RemoteBlocks uint64
+	// ReadPhase / WritePhase are the per-phase latency aggregates.
+	ReadPhase  LatencyParts
+	WritePhase LatencyParts
+	// SAppFinish is the S-App core's completion cycle (0 if it outlived
+	// the run, which it usually does).
+	SAppFinish uint64
 }
 
 // LinkFaultSummary aggregates the BOB links' unreliability counters.
@@ -223,11 +301,12 @@ type LinkFaultSummary struct {
 	RetryDelayNs float64
 }
 
-// Simulate builds and runs one co-run simulation.
-func Simulate(cfg SimConfig) (*SimResult, error) {
+// coreConfig lowers the public configuration onto the internal one,
+// filling paper defaults for every zero-valued knob.
+func (cfg SimConfig) coreConfig() (core.Config, error) {
 	scheme, err := cfg.Scheme.internal()
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 	ic := core.DefaultConfig(scheme, cfg.Benchmark)
 	ic.NumNS = cfg.NumNS
@@ -249,6 +328,18 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	ic.LinkCorruptProb = cfg.LinkCorruptProb
 	ic.LinkLossProb = cfg.LinkLossProb
 	ic.NoFastForward = cfg.NoFastForward
+	ic.LatencyWarmup = cfg.LatencyWarmup
+	ic.SubtreeLevels = cfg.SubtreeLevels
+	ic.LinkLatencyNs = cfg.LinkLatencyNs
+	if cfg.Pace > 0 {
+		ic.Pace = cfg.Pace
+	}
+	if cfg.CoopThreshold > 0 {
+		ic.CoopThreshold = cfg.CoopThreshold
+	}
+	if cfg.MaxCycles > 0 {
+		ic.MaxCycles = cfg.MaxCycles
+	}
 	if cfg.Metrics || cfg.MetricsEpochCycles > 0 {
 		ic.MetricsEpochCycles = cfg.MetricsEpochCycles
 		if ic.MetricsEpochCycles == 0 {
@@ -262,12 +353,35 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		ic.TraceOramOnly = cfg.TraceOramOnly
 		ic.TraceTopK = cfg.TraceTopN
 	}
+	return ic, nil
+}
+
+// Simulate builds and runs one co-run simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, the run loop aborts within a few
+// thousand iterations and the context's error is returned. The check is
+// polled, so a nil or Background context costs the simulation nothing.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	ic, err := cfg.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		ic.Stop = func() bool { return ctx.Err() != nil }
+	}
 	sys, err := core.NewSystem(ic)
 	if err != nil {
 		return nil, err
 	}
 	res, err := sys.Run()
 	if err != nil {
+		if errors.Is(err, core.ErrStopped) && ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
 	out := &SimResult{
@@ -301,7 +415,41 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		GiveUps:      lf.GiveUps,
 		RetryDelayNs: clock.CPUToNanos(lf.RetryCycles),
 	}
+	out.Raw = rawFromResults(res)
 	return out, nil
+}
+
+// latencyParts extracts a latency stream's exact integer aggregate.
+func latencyParts(l stats.Latency) LatencyParts {
+	return LatencyParts{Count: l.Count(), Sum: l.Sum(), Min: l.Min(), Max: l.Max()}
+}
+
+// rawFromResults assembles the exact-aggregate companion of a result.
+func rawFromResults(res *core.Results) *SimRaw {
+	raw := &SimRaw{
+		Cycles:            res.Cycles,
+		NSInstrs:          res.NSInstrs,
+		NSRead:            latencyParts(res.NSReadLat),
+		NSWrite:           latencyParts(res.NSWriteLat),
+		ChannelEnergyUJ:   res.ChannelEnergyUJ[:],
+		ChannelRowHitRate: res.ChannelRowHitRate[:],
+	}
+	for ch := 0; ch < core.NumChannels; ch++ {
+		raw.ChannelRead = append(raw.ChannelRead, latencyParts(res.ReadLatPerChannel[ch]))
+		raw.ChannelWrite = append(raw.ChannelWrite, latencyParts(res.WriteLatPerChannel[ch]))
+	}
+	if res.SApp != nil {
+		raw.ORAM = &ORAMRaw{
+			Accesses:     res.SApp.Accesses.Value(),
+			Real:         res.SApp.RealAccesses.Value(),
+			Dummy:        res.SApp.DummyAccesses.Value(),
+			RemoteBlocks: res.SApp.RemoteBlocks.Value(),
+			ReadPhase:    latencyParts(res.SApp.ReadPhase),
+			WritePhase:   latencyParts(res.SApp.WritePhase),
+			SAppFinish:   res.SAppFinish,
+		}
+	}
+	return raw
 }
 
 // Benchmarks returns the 15 Table III benchmark names.
