@@ -9,17 +9,24 @@
 //	doramctl submit -wait spec.json      ... and block until it finishes
 //	doramctl sweep a.json b.json c.json  submit a batch in one request
 //	doramctl sweep -wait a.json b.json
+//	doramctl run spec.json               submit, wait, print the result
 //	doramctl status j-00000001
 //	doramctl wait j-00000001             poll until the job is terminal
 //	doramctl result j-00000001           print the finished job's result
 //	doramctl metrics j-00000001          print the job's metric dump
 //	doramctl cancel j-00000001
 //	doramctl varz                        print the service metric dump
+//	doramctl nodes                       list cluster workers (coordinator)
 //
 // Job specs are the JSON documents accepted by POST /v1/jobs (the
-// canonical doram.Params encoding); see README "Serving mode". On 429
-// (queue full) submit and sweep honour the server's Retry-After once
-// before giving up.
+// canonical doram.Params encoding); see README "Serving mode". The
+// server may be a single doramd or a cluster coordinator (README
+// "Cluster mode") — the API is identical.
+//
+// Transient failures are retried with jittered exponential backoff:
+// connection errors and 502/503/504 for a handful of attempts, and 429
+// (queue full) honouring the server's Retry-After. A plain 500 means
+// the job itself failed and is not retried.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -35,7 +43,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: doramctl [-server URL] {health|varz|submit|sweep|status|wait|result|metrics|cancel} ...")
+	fmt.Fprintln(os.Stderr, "usage: doramctl [-server URL] {health|varz|nodes|submit|run|sweep|status|wait|result|metrics|cancel} ...")
 	os.Exit(2)
 }
 
@@ -65,8 +73,12 @@ func main() {
 		err = c.health()
 	case "varz":
 		err = c.printBody("GET", "/varz", nil)
+	case "nodes":
+		err = c.printBody("GET", "/v1/cluster/nodes", nil)
 	case "submit":
 		err = c.submit(args)
+	case "run":
+		err = c.run(args)
 	case "sweep":
 		err = c.sweep(args)
 	case "status":
@@ -105,11 +117,46 @@ func terminal(state string) bool {
 	return state == "done" || state == "failed" || state == "cancelled"
 }
 
+// Retry policy. Connection errors and gateway errors (502/503/504) get
+// maxTransientRetries attempts with jittered exponential backoff; 429
+// gets maxQueueRetries honouring the server's Retry-After. A plain 500
+// is the job's own failure and is never retried.
+const (
+	maxTransientRetries = 6
+	maxQueueRetries     = 8
+	retryBase           = 250 * time.Millisecond
+	retryCap            = 10 * time.Second
+)
+
+// backoff returns the jittered exponential delay for the given attempt
+// (0-based): base·2^attempt scaled by a random [0.5,1.5) factor, capped.
+func backoff(attempt int) time.Duration {
+	d := retryBase << attempt
+	if d > retryCap {
+		d = retryCap
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// retryAfter reads a Retry-After header in seconds, with a default.
+func retryAfter(h http.Header, def time.Duration) time.Duration {
+	if ra, err := strconv.Atoi(h.Get("Retry-After")); err == nil && ra > 0 {
+		return time.Duration(ra) * time.Second
+	}
+	return def
+}
+
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
 // do performs one request and returns the body. Service errors become Go
-// errors carrying the server's message. A 429 is retried once after the
-// server's Retry-After.
+// errors carrying the server's message; transient failures are retried
+// per the policy above.
 func (c *client) do(method, path string, body []byte) ([]byte, error) {
-	for attempt := 0; ; attempt++ {
+	transient, queued := 0, 0
+	for {
 		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
@@ -119,19 +166,39 @@ func (c *client) do(method, path string, body []byte) ([]byte, error) {
 		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
-			return nil, err
+			if transient >= maxTransientRetries {
+				return nil, fmt.Errorf("after %d attempts: %w", transient+1, err)
+			}
+			delay := backoff(transient)
+			transient++
+			fmt.Fprintf(os.Stderr, "doramctl: %v, retrying in %s\n", err, delay.Round(time.Millisecond))
+			time.Sleep(delay)
+			continue
 		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests && attempt == 0 {
-			delay := 2 * time.Second
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				delay = time.Duration(ra) * time.Second
+			if transient >= maxTransientRetries {
+				return nil, fmt.Errorf("after %d attempts: %w", transient+1, err)
 			}
-			fmt.Fprintf(os.Stderr, "doramctl: queue full, retrying in %s\n", delay)
+			delay := backoff(transient)
+			transient++
+			time.Sleep(delay)
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests && queued < maxQueueRetries:
+			delay := retryAfter(resp.Header, 2*time.Second)
+			// Jitter so a fleet of clients doesn't re-dogpile the queue.
+			delay = time.Duration(float64(delay) * (0.75 + rand.Float64()/2))
+			queued++
+			fmt.Fprintf(os.Stderr, "doramctl: queue full, retrying in %s\n", delay.Round(time.Millisecond))
+			time.Sleep(delay)
+			continue
+		case transientStatus(resp.StatusCode) && transient < maxTransientRetries:
+			delay := retryAfter(resp.Header, backoff(transient))
+			transient++
+			fmt.Fprintf(os.Stderr, "doramctl: HTTP %d, retrying in %s\n", resp.StatusCode, delay.Round(time.Millisecond))
 			time.Sleep(delay)
 			continue
 		}
@@ -215,6 +282,35 @@ func (c *client) submit(args []string) error {
 		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
 	}
 	return nil
+}
+
+// run submits one spec, waits for it, and prints the result document —
+// submit/wait/result in one shot, handy for scripting byte-level
+// comparisons of runs.
+func (c *client) run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("run expects one spec file (or - for stdin)")
+	}
+	spec, err := readSpec(args[0])
+	if err != nil {
+		return err
+	}
+	data, err := c.do("POST", "/v1/jobs", spec)
+	if err != nil {
+		return err
+	}
+	var st jobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	final, err := c.wait(st.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	return c.printBody("GET", "/v1/jobs/"+final.ID+"/result", nil)
 }
 
 func (c *client) sweep(args []string) error {

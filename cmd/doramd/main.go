@@ -1,6 +1,8 @@
 // Command doramd serves the D-ORAM simulator as a job service: an HTTP
 // API over a bounded job queue, a worker pool, and a deduplicating result
-// cache (see internal/simsvc and DESIGN.md §12).
+// cache (see internal/simsvc and DESIGN.md §12). It can also run as one
+// node of a cluster (see internal/cluster and DESIGN.md §13): either as
+// the coordinator fronting a worker fleet, or as a worker joined to one.
 //
 // Usage:
 //
@@ -8,9 +10,13 @@
 //	doramd -addr 127.0.0.1:8344 -workers 4 -queue 128 -cache 256
 //	doramd -job-timeout 2m -max-trace 500000 -drain-timeout 10s
 //
+//	doramd -coordinator -addr :8443                 cluster front door
+//	doramd -addr :8444 -join http://coord:8443      worker in that cluster
+//
 // SIGTERM or SIGINT drains gracefully: the listener stops accepting,
 // queued jobs are cancelled, and running simulations get -drain-timeout
-// to finish before being aborted.
+// to finish before being aborted. A one-line drain summary (jobs
+// completed/cancelled/failed, cache hit ratio) is logged on exit.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"doram/internal/cluster"
 	"doram/internal/simsvc"
 )
 
@@ -38,7 +45,14 @@ func main() {
 		cacheSize    = flag.Int("cache", 128, "result-cache entries (negative disables caching)")
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-time limit")
 		maxTrace     = flag.Uint64("max-trace", 2_000_000, "largest admitted per-core trace length")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM/SIGINT")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a simulation worker")
+		joinURL     = flag.String("join", "", "coordinator URL to join as a worker (e.g. http://host:8443)")
+		advertise   = flag.String("advertise", "", "base URL the coordinator reaches this worker at (default http://<addr>)")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "coordinator: worker heartbeat interval")
+		nodeTimeout = flag.Duration("node-timeout", 0, "coordinator: heartbeat silence before a worker is dead (0 = 5×heartbeat)")
+		hedgeAfter  = flag.Duration("hedge-after", 30*time.Second, "coordinator: straggler delay before hedging a job to a second worker (negative disables)")
 	)
 	flag.Parse()
 	log.SetPrefix("doramd: ")
@@ -47,6 +61,18 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "doramd: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
+	}
+	if *coordinator && *joinURL != "" {
+		fmt.Fprintln(os.Stderr, "doramd: -coordinator and -join are mutually exclusive")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if *coordinator {
+		runCoordinator(ctx, *addr, *heartbeat, *nodeTimeout, *hedgeAfter, *drainTimeout)
+		return
 	}
 
 	svc := simsvc.New(simsvc.Config{
@@ -63,9 +89,6 @@ func main() {
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
-
 	effWorkers := *workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
@@ -74,6 +97,14 @@ func main() {
 	go func() { serveErr <- srv.Serve(ln) }()
 	log.Printf("serving on http://%s (workers=%d queue=%d cache=%d)",
 		ln.Addr(), effWorkers, *queueDepth, *cacheSize)
+
+	if *joinURL != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		go cluster.Join(ctx, cluster.JoinConfig{Coordinator: *joinURL, Advertise: adv})
+	}
 
 	select {
 	case err := <-serveErr:
@@ -87,13 +118,63 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := svc.Close(drainCtx); err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+	closeErr := svc.Close(drainCtx)
+	logDrainSummary(svc)
+	if closeErr != nil {
+		if errors.Is(closeErr, context.DeadlineExceeded) {
 			log.Printf("drain deadline passed; running jobs aborted")
 		} else {
-			log.Printf("drain: %v", err)
+			log.Printf("drain: %v", closeErr)
 		}
 		os.Exit(1)
 	}
 	log.Printf("drained cleanly")
+}
+
+// logDrainSummary emits the one-line service lifetime summary on exit.
+func logDrainSummary(svc *simsvc.Service) {
+	cv := svc.Registry().CounterValues()
+	hits, misses := cv["simsvc.cache.hits"], cv["simsvc.cache.misses"]
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	log.Printf("drain summary: completed=%d cancelled=%d failed=%d cache hits=%d misses=%d (hit ratio %.1f%%)",
+		cv["simsvc.jobs.completed"], cv["simsvc.jobs.cancelled"], cv["simsvc.jobs.failed"],
+		hits, misses, 100*ratio)
+}
+
+// runCoordinator serves the cluster front door until the context ends.
+func runCoordinator(ctx context.Context, addr string, heartbeat, nodeTimeout, hedgeAfter, drainTimeout time.Duration) {
+	c := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatInterval: heartbeat,
+		NodeTimeout:       nodeTimeout,
+		HedgeAfter:        hedgeAfter,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go c.Run(ctx)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("coordinating on http://%s (heartbeat=%s hedge-after=%s)", ln.Addr(), heartbeat, hedgeAfter)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	cv := c.Registry().CounterValues()
+	log.Printf("cluster summary: completed=%d failed=%d cancelled=%d redispatched=%d hedged=%d nodes(alive=%d dead=%d)",
+		cv["cluster.jobs.completed"], cv["cluster.jobs.failed"], cv["cluster.jobs.cancelled"],
+		cv["cluster.jobs.redispatched"], cv["cluster.jobs.hedged"],
+		cv["cluster.nodes.alive"], cv["cluster.nodes.dead"])
 }

@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"doram"
+	"doram/internal/experiments"
+	"doram/internal/simsvc"
+)
+
+// chaosSeed drives every random choice in the chaos tests (victim, kill
+// timing). Change it to explore another schedule; any value must pass.
+const chaosSeed = 1
+
+// chaosWorker is a real doramd worker: a simsvc service on a real TCP
+// listener plus the cluster membership loop, killable mid-flight.
+type chaosWorker struct {
+	svc      *simsvc.Service
+	srv      *http.Server
+	url      string
+	gate     *gateTransport // the worker's own network path to the coordinator
+	joinStop context.CancelFunc
+	joinDone chan struct{}
+}
+
+func startChaosWorker(t *testing.T, coordURL string, cfg simsvc.Config) *chaosWorker {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	svc := simsvc.New(cfg)
+	w := &chaosWorker{
+		svc:      svc,
+		srv:      &http.Server{Handler: svc.Handler()},
+		url:      "http://" + ln.Addr().String(),
+		gate:     newGateTransport(),
+		joinDone: make(chan struct{}),
+	}
+	go w.srv.Serve(ln)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	w.joinStop = cancel
+	go func() {
+		defer close(w.joinDone)
+		Join(ctx, JoinConfig{
+			Coordinator: coordURL,
+			Advertise:   w.url,
+			Transport:   w.gate,
+			Logf:        func(string, ...any) {},
+		})
+	}()
+	t.Cleanup(func() { w.kill(coordURL) })
+	return w
+}
+
+// kill is SIGKILL semantics: the listener dies and the membership loop
+// stops without a goodbye — the coordinator must learn the hard way.
+func (w *chaosWorker) kill(coordURL string) {
+	w.gate.block(coordURL) // the leave attempt must not get through
+	w.joinStop()
+	<-w.joinDone
+	w.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	w.svc.Close(ctx)
+}
+
+// chaosConfig is tuned for fast failure detection on a loopback network.
+func chaosConfig() CoordinatorConfig {
+	return CoordinatorConfig{
+		HeartbeatInterval: 50 * time.Millisecond,
+		NodeTimeout:       300 * time.Millisecond,
+		StepInterval:      20 * time.Millisecond,
+		RequestTimeout:    5 * time.Second,
+		HedgeAfter:        -1,
+		BreakerCooldown:   500 * time.Millisecond,
+	}
+}
+
+// workerConfig runs the real simulator — chaos must preserve real result
+// bytes, not stub ones.
+func workerConfig() simsvc.Config {
+	return simsvc.Config{Workers: 2, QueueDepth: 64}
+}
+
+// chaosSpec is a real simulation distinguished by seed — heavy enough
+// (8000 accesses) that a mid-sweep kill lands on in-flight work.
+func chaosSpec(seed uint64) []byte {
+	return []byte(fmt.Sprintf(`{"scheme":"d-oram","benchmark":"face","k":1,"trace_len":8000,"seed":%d}`, seed))
+}
+
+// startCluster brings up a coordinator (control loop + HTTP) and n
+// workers, and waits until all have joined.
+func startCluster(t *testing.T, n int) (*Coordinator, string, []*chaosWorker) {
+	t.Helper()
+	c := NewCoordinator(chaosConfig())
+	front := httptest.NewServer(c.Handler())
+	t.Cleanup(front.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go c.Run(ctx)
+
+	workers := make([]*chaosWorker, n)
+	for i := range workers {
+		workers[i] = startChaosWorker(t, front.URL, workerConfig())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if int(c.Registry().CounterValues()["cluster.nodes.alive"]) == n {
+			return c, front.URL, workers
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers joined", c.Registry().CounterValues()["cluster.nodes.alive"], n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// singleNodeResults runs the spec list on a standalone one-node doramd
+// and returns each spec's result bytes — the chaos ground truth.
+func singleNodeResults(t *testing.T, specs [][]byte) [][]byte {
+	t.Helper()
+	svc := simsvc.New(workerConfig())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	}()
+
+	out := make([][]byte, len(specs))
+	for i, spec := range specs {
+		p, err := doram.ParamsFromJSON(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		job, err := svc.Submit(p)
+		if err != nil {
+			t.Fatalf("single-node submit %d: %v", i, err)
+		}
+		<-job.Done()
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + job.ID() + "/result")
+		if err != nil {
+			t.Fatalf("single-node result %d: %v", i, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("single-node result %d: HTTP %d, %v", i, resp.StatusCode, err)
+		}
+		out[i] = data
+	}
+	return out
+}
+
+// TestChaosKillWorkerMidSweep is the acceptance-criteria test: a seeded
+// chaos schedule SIGKILLs one worker while a sweep is in flight; the
+// sweep must still complete, and every result must be byte-identical to
+// a single-node run of the same specs.
+func TestChaosKillWorkerMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness runs real simulations")
+	}
+	rng := rand.New(rand.NewSource(chaosSeed))
+
+	const nWorkers = 3
+	const nJobs = 10
+	specs := make([][]byte, nJobs)
+	for i := range specs {
+		specs[i] = chaosSpec(uint64(i + 1))
+	}
+	want := singleNodeResults(t, specs)
+
+	c, front, workers := startCluster(t, nWorkers)
+
+	// Submit the sweep, killing the victim partway through: after a
+	// random prefix of submissions, with a random breath for jobs to get
+	// in flight on the victim.
+	victim := workers[rng.Intn(nWorkers)]
+	killAfter := 1 + rng.Intn(nJobs-1)
+	t.Logf("chaos: killing %s after %d of %d submissions", victim.url, killAfter, nJobs)
+
+	ids := make([]string, nJobs)
+	for i, spec := range specs {
+		st, err := c.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = st.ID
+		if i+1 == killAfter {
+			time.Sleep(time.Duration(rng.Intn(40)) * time.Millisecond)
+			victim.kill(front)
+		}
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for i, id := range ids {
+		for {
+			st, err := c.Status(id)
+			if err != nil {
+				t.Fatalf("status %s: %v", id, err)
+			}
+			if st.State == simsvc.StateDone {
+				break
+			}
+			if st.State.Terminal() {
+				t.Fatalf("job %d (%s) ended %s (%s) — a single worker death failed the sweep",
+					i, id, st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d (%s) stuck in %s on node %q", i, id, st.State, st.Node)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	for i, id := range ids {
+		got, err := c.Result(id)
+		if err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("spec %d: cluster result differs from single-node run (%d vs %d bytes)", i, len(got), len(want[i]))
+		}
+	}
+	// Failure detection fires even if the sweep outran the heartbeat
+	// timeout: the victim must eventually be declared dead.
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Registry().CounterValues()["cluster.nodes.dead"] != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("killed worker never declared dead (dead=%d)",
+				c.Registry().CounterValues()["cluster.nodes.dead"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosPartitionHeals: a worker partitioned from the coordinator is
+// declared dead and its work moves; when the partition heals, the worker
+// re-joins on its own (the heartbeat 404 path) and serves again.
+func TestChaosPartitionHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness runs real simulations")
+	}
+	const nWorkers = 2
+	c, front, workers := startCluster(t, nWorkers)
+	w := workers[0]
+
+	// Partition: both directions drop. The server stays up — this is a
+	// network fault, not a crash.
+	w.gate.block(front)
+	c.mu.Lock()
+	for _, n := range c.nodes {
+		if n.id == w.url {
+			// Simulate the coordinator-side drop by forcing its next
+			// heartbeat check to see a stale beat.
+			n.lastBeat = time.Now().Add(-time.Hour)
+		}
+	}
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Registry().CounterValues()["cluster.nodes.alive"] != nWorkers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned worker never declared dead")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Work keeps flowing on the surviving node.
+	st, err := c.Submit(chaosSpec(77))
+	if err != nil {
+		t.Fatalf("submit during partition: %v", err)
+	}
+	for {
+		got, _ := c.Status(st.ID)
+		if got.State == simsvc.StateDone {
+			break
+		}
+		if got.State.Terminal() {
+			t.Fatalf("job during partition ended %s (%s)", got.State, got.Error)
+		}
+		if time.Now().After(deadline.Add(20 * time.Second)) {
+			t.Fatalf("job during partition stuck in %s", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Heal: the worker's next heartbeat gets 404 and it re-joins.
+	w.gate.unblock(front)
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Registry().CounterValues()["cluster.nodes.alive"] != nWorkers {
+		if time.Now().After(deadline) {
+			t.Fatalf("healed worker never re-joined")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterSweepMatchesLocalFigure closes the loop at figure level: the
+// experiments runner pointed at a coordinator (fleet fan-out, possibly
+// cache-assisted) rebuilds exactly the figure a purely local run
+// produces.
+func TestClusterSweepMatchesLocalFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps run real simulations")
+	}
+	_, front, _ := startCluster(t, 3)
+
+	quick := experiments.Options{TraceLen: 1200, Seed: 42, Benchmarks: []string{"face"}}
+	localSum, localTab, err := experiments.Figure10(quick)
+	if err != nil {
+		t.Fatalf("local Figure10: %v", err)
+	}
+	remote := quick
+	remote.Endpoint = front
+	remoteSum, remoteTab, err := experiments.Figure10(remote)
+	if err != nil {
+		t.Fatalf("cluster Figure10: %v", err)
+	}
+	if !reflect.DeepEqual(localSum, remoteSum) {
+		t.Errorf("cluster Figure10 summary differs from local:\n  local:  %+v\n  cluster: %+v", localSum, remoteSum)
+	}
+	if !reflect.DeepEqual(localTab, remoteTab) {
+		t.Errorf("cluster Figure10 table differs from local")
+	}
+}

@@ -1,0 +1,692 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"doram"
+	"doram/internal/simsvc"
+)
+
+// specJSON returns a valid d-oram spec document distinguished by seed.
+func specJSON(seed uint64) []byte {
+	return []byte(fmt.Sprintf(`{"scheme":"d-oram","benchmark":"face","k":1,"seed":%d}`, seed))
+}
+
+// instantSim completes immediately with a seed-derived result.
+func instantSim(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+	return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+}
+
+// fakeWorker is one real simsvc service behind a real HTTP listener, with
+// a scriptable simulation.
+type fakeWorker struct {
+	svc *simsvc.Service
+	srv *httptest.Server
+}
+
+func newFakeWorker(t *testing.T, cfg simsvc.Config) *fakeWorker {
+	t.Helper()
+	svc := simsvc.New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	w := &fakeWorker{svc: svc, srv: srv}
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	})
+	return w
+}
+
+func (w *fakeWorker) url() string { return w.srv.URL }
+
+// gateTransport is an injectable transport that can sever individual
+// workers (simulating a network partition or dead host) and counts
+// requests per host.
+type gateTransport struct {
+	mu      sync.Mutex
+	blocked map[string]bool
+	calls   map[string]int
+}
+
+func newGateTransport() *gateTransport {
+	return &gateTransport{blocked: make(map[string]bool), calls: make(map[string]int)}
+}
+
+func (g *gateTransport) hostOf(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return raw
+	}
+	return u.Host
+}
+
+func (g *gateTransport) block(baseURL string)   { g.set(baseURL, true) }
+func (g *gateTransport) unblock(baseURL string) { g.set(baseURL, false) }
+
+func (g *gateTransport) set(baseURL string, blocked bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.blocked[g.hostOf(baseURL)] = blocked
+}
+
+func (g *gateTransport) count(baseURL string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calls[g.hostOf(baseURL)]
+}
+
+func (g *gateTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	g.mu.Lock()
+	g.calls[req.URL.Host]++
+	dead := g.blocked[req.URL.Host]
+	g.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("gate: connection to %s refused", req.URL.Host)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// testCoordinator builds a coordinator on a fake clock with the given
+// workers joined. NodeTimeout is effectively infinite (tests advance fake
+// time freely); heartbeat expiry tests override it.
+func testCoordinator(t *testing.T, clk *fakeClock, gate *gateTransport, cfg CoordinatorConfig, workers ...*fakeWorker) *Coordinator {
+	t.Helper()
+	if cfg.NodeTimeout == 0 {
+		cfg.NodeTimeout = 24 * time.Hour
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = -1 // hedging off unless a test asks for it
+	}
+	if cfg.Transport == nil && gate != nil {
+		cfg.Transport = gate
+	}
+	cfg.Logf = t.Logf
+	c := NewCoordinator(cfg)
+	c.now = clk.now
+	for _, w := range workers {
+		c.join(w.url(), clk.now())
+	}
+	return c
+}
+
+// stepUntil drives the control loop on the fake clock until pred holds.
+func stepUntil(t *testing.T, c *Coordinator, clk *fakeClock, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		c.step(clk.now())
+		clk.advance(50 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func jobState(t *testing.T, c *Coordinator, id string) JobStatus {
+	t.Helper()
+	st, err := c.Status(id)
+	if err != nil {
+		t.Fatalf("status %s: %v", id, err)
+	}
+	return st
+}
+
+// TestClusterAffinityAndResultRelay: jobs land on their ring owner, equal
+// specs land on the same worker, and the coordinator relays the worker's
+// result bytes verbatim.
+func TestClusterAffinityAndResultRelay(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	w1 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim})
+	w2 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{}, w1, w2)
+
+	byNode := make(map[string][]string)
+	var ids []string
+	for seed := uint64(1); seed <= 8; seed++ {
+		st, err := c.Submit(specJSON(seed))
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		if st.Node == "" {
+			t.Fatalf("seed %d not dispatched synchronously on an idle cluster", seed)
+		}
+		c.mu.Lock()
+		owner := c.ring.owner(st.SpecHash)
+		c.mu.Unlock()
+		if st.Node != owner {
+			t.Errorf("seed %d dispatched to %s, ring owner is %s", seed, st.Node, owner)
+		}
+		byNode[st.Node] = append(byNode[st.Node], st.ID)
+		ids = append(ids, st.ID)
+	}
+	if len(byNode) != 2 {
+		t.Errorf("8 seeds all landed on one node — affinity map: %v", byNode)
+	}
+
+	for _, id := range ids {
+		id := id
+		stepUntil(t, c, clk, "job "+id+" done", func() bool { return jobState(t, c, id).State == simsvc.StateDone })
+	}
+
+	// Byte-equality: the coordinator's result is exactly the worker's.
+	st := jobState(t, c, ids[0])
+	got, err := c.Result(ids[0])
+	if err != nil {
+		t.Fatalf("coordinator result: %v", err)
+	}
+	resp, err := http.Get(st.Node + "/v1/jobs/" + st.RemoteID + "/result")
+	if err != nil {
+		t.Fatalf("direct worker result: %v", err)
+	}
+	defer resp.Body.Close()
+	want, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, want) {
+		t.Errorf("coordinator result bytes differ from the worker's:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestFailoverOnHeartbeatDeath: a worker that stops heartbeating is
+// declared dead and its in-flight job re-dispatches to the ring successor,
+// completing with the surviving worker.
+func TestFailoverOnHeartbeatDeath(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	blocking := func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		started <- cfg.Benchmark
+		select {
+		case <-release:
+			return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	w1 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: blocking})
+	w2 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: blocking})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{
+		HeartbeatInterval: time.Second,
+		NodeTimeout:       5 * time.Second,
+	}, w1, w2)
+
+	st, err := c.Submit(specJSON(7))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started // the owner's worker pool picked it up
+	victim := st.Node
+	survivor := w1
+	if victim == w1.url() {
+		survivor = w2
+	}
+
+	// The victim vanishes: no more heartbeats, no more network.
+	gate.block(victim)
+	for i := 0; i < 12; i++ {
+		c.heartbeat(survivor.url(), clk.now())
+		c.step(clk.now())
+		clk.advance(time.Second)
+	}
+	if got := jobState(t, c, st.ID); got.Node == victim {
+		t.Fatalf("job still assigned to dead worker %s: %+v", victim, got)
+	}
+	stepUntil(t, c, clk, "re-dispatch to survivor", func() bool {
+		s := jobState(t, c, st.ID)
+		return s.Node == survivor.url()
+	})
+	<-started // re-dispatched copy started on the survivor
+	close(release)
+	stepUntil(t, c, clk, "failover completion", func() bool { return jobState(t, c, st.ID).State == simsvc.StateDone })
+
+	final := jobState(t, c, st.ID)
+	if final.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (original + failover)", final.Attempts)
+	}
+	cv := c.Registry().CounterValues()
+	if cv["cluster.nodes.dead"] != 1 || cv["cluster.jobs.redispatched"] != 1 {
+		t.Errorf("counters after failover: dead=%d redispatched=%d, want 1/1",
+			cv["cluster.nodes.dead"], cv["cluster.jobs.redispatched"])
+	}
+	if cv["cluster.nodes.alive"] != 1 {
+		t.Errorf("alive = %d, want 1", cv["cluster.nodes.alive"])
+	}
+}
+
+// TestWorkerDrainReDispatch: a worker that cancels a job on its own
+// (drain) loses it to the next node — worker-side cancellation is not
+// client cancellation.
+func TestWorkerDrainReDispatch(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	blocking := func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		started <- cfg.Benchmark
+		select {
+		case <-release:
+			return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	w1 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: blocking})
+	w2 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: blocking})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{}, w1, w2)
+
+	st, err := c.Submit(specJSON(3))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	owner, other := w1, w2
+	if st.Node == w2.url() {
+		owner, other = w2, w1
+	}
+
+	// The owner drains: its running job aborts as worker-side cancelled.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	owner.svc.Close(ctx)
+	cancel()
+
+	stepUntil(t, c, clk, "re-dispatch after drain", func() bool {
+		return jobState(t, c, st.ID).Node == other.url()
+	})
+	<-started
+	close(release)
+	stepUntil(t, c, clk, "completion after drain", func() bool { return jobState(t, c, st.ID).State == simsvc.StateDone })
+	if got := jobState(t, c, st.ID); got.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", got.Attempts)
+	}
+}
+
+// TestHedgedRequestWins: a straggling primary gets a hedge on another
+// node; the hedge finishes first and its result completes the job, with
+// the loser cancelled.
+func TestHedgedRequestWins(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	release := make(chan struct{}) // never released: the straggler never finishes on its own
+	slow := func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		select {
+		case <-release:
+			return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	defer close(release)
+	w1 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: slow})       // the straggler
+	w2 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim}) // the hedge target
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{HedgeAfter: 2 * time.Second}, w1, w2)
+
+	// Pick a spec the slow worker owns, so the primary dispatch straggles.
+	var owned []byte
+	c.mu.Lock()
+	for seed := uint64(1); seed <= 64; seed++ {
+		p, _ := doram.ParamsFromJSON(specJSON(seed))
+		if c.ring.owner(p.Hash()) == w1.url() {
+			owned = specJSON(seed)
+			break
+		}
+	}
+	c.mu.Unlock()
+	if owned == nil {
+		t.Fatalf("no seed in 1..64 owned by %s", w1.url())
+	}
+
+	st, err := c.Submit(owned)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.Node != w1.url() {
+		t.Fatalf("primary dispatched to %s, want the slow owner %s", st.Node, w1.url())
+	}
+
+	stepUntil(t, c, clk, "hedge dispatch and win", func() bool { return jobState(t, c, st.ID).State == simsvc.StateDone })
+
+	cv := c.Registry().CounterValues()
+	if cv["cluster.jobs.hedged"] != 1 {
+		t.Errorf("hedged counter = %d, want 1", cv["cluster.jobs.hedged"])
+	}
+	if cv["cluster.hedge.wins"] != 1 {
+		t.Errorf("hedge.wins = %d, want 1", cv["cluster.hedge.wins"])
+	}
+	if _, err := c.Result(st.ID); err != nil {
+		t.Errorf("result after hedge win: %v", err)
+	}
+	if got := jobState(t, c, st.ID); !got.Hedged {
+		t.Errorf("winning job not marked hedged: %+v", got)
+	}
+
+	// The losing straggler gets a best-effort cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ws, err := w1.svc.Status("j-00000001")
+		if err == nil && ws.State == simsvc.StateCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("losing primary never cancelled; worker state: %+v err %v", ws, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestBreakerEjectsFlappingWorker: consecutive transport failures open the
+// worker's breaker and take it out of dispatch; after the cooldown, probe
+// successes re-admit it.
+func TestBreakerEjectsFlappingWorker(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	w1 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim})
+	w2 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Second,
+		BreakerProbes:    2,
+	}, w1, w2)
+
+	// Find specs owned by w1 so dispatch wants to go there first.
+	var owned [][]byte
+	c.mu.Lock()
+	for seed := uint64(1); seed <= 256 && len(owned) < 6; seed++ {
+		p, _ := doram.ParamsFromJSON(specJSON(seed))
+		if c.ring.owner(p.Hash()) == w1.url() {
+			owned = append(owned, specJSON(seed))
+		}
+	}
+	c.mu.Unlock()
+	if len(owned) < 6 {
+		t.Fatalf("only %d seeds in 1..256 owned by %s", len(owned), w1.url())
+	}
+
+	gate.block(w1.url())
+	// Three submissions: each tries w1 (transport failure), falls through
+	// to w2, and still completes. The third failure opens the breaker.
+	for i := 0; i < 3; i++ {
+		st, err := c.Submit(owned[i])
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if st.Node != w2.url() {
+			t.Fatalf("submit %d dispatched to %q, want fallback to %s", i, st.Node, w2.url())
+		}
+		stepUntil(t, c, clk, "fallback completion", func() bool { return jobState(t, c, st.ID).State == simsvc.StateDone })
+	}
+	var w1status NodeStatus
+	for _, n := range c.Nodes() {
+		if n.ID == w1.url() {
+			w1status = n
+		}
+	}
+	if w1status.Breaker != "open" || w1status.BreakerTrips != 1 {
+		t.Fatalf("w1 breaker %s trips %d after 3 transport failures, want open/1", w1status.Breaker, w1status.BreakerTrips)
+	}
+
+	// Ejected: a new submission must not even try w1.
+	before := gate.count(w1.url())
+	st, err := c.Submit(owned[3])
+	if err != nil {
+		t.Fatalf("submit while ejected: %v", err)
+	}
+	if st.Node != w2.url() {
+		t.Errorf("ejected worker still receiving dispatches: %+v", st)
+	}
+	if gate.count(w1.url()) != before {
+		t.Errorf("request sent to a worker with an open breaker")
+	}
+	stepUntil(t, c, clk, "ejected-era completion", func() bool { return jobState(t, c, st.ID).State == simsvc.StateDone })
+
+	// Heal the network, pass the cooldown: probes flow and re-admit w1.
+	gate.unblock(w1.url())
+	clk.advance(6 * time.Second)
+	for i := 4; i < 6; i++ {
+		st, err := c.Submit(owned[i])
+		if err != nil {
+			t.Fatalf("probe submit %d: %v", i, err)
+		}
+		stepUntil(t, c, clk, "probe completion", func() bool { return jobState(t, c, st.ID).State == simsvc.StateDone })
+	}
+	for _, n := range c.Nodes() {
+		if n.ID == w1.url() && n.Breaker != "closed" {
+			t.Errorf("w1 breaker %s after successful probes, want closed", n.Breaker)
+		}
+	}
+}
+
+// TestBackpressurePreservesAffinity: a saturated owner answers 429; the
+// coordinator waits out the Retry-After instead of spilling the job to
+// another node, then dispatches to the same owner.
+func TestBackpressurePreservesAffinity(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	blocking := func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		started <- cfg.Benchmark
+		select {
+		case <-release:
+			return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// One worker, queue depth 1: a running job plus a queued one saturate it.
+	w := newFakeWorker(t, simsvc.Config{Workers: 1, QueueDepth: 1, RunSim: blocking})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{}, w)
+
+	// Saturate the worker directly (not via the coordinator): one job
+	// running, one filling the single queue slot.
+	p, _ := doram.ParamsFromJSON(specJSON(50))
+	if _, err := w.svc.Submit(p); err != nil {
+		t.Fatalf("saturating submit: %v", err)
+	}
+	<-started // dequeued and running; the queue is empty again
+	p, _ = doram.ParamsFromJSON(specJSON(51))
+	if _, err := w.svc.Submit(p); err != nil {
+		t.Fatalf("queue-filling submit: %v", err)
+	}
+
+	st, err := c.Submit(specJSON(1))
+	if err != nil {
+		t.Fatalf("cluster submit against saturated worker: %v", err)
+	}
+	if st.Node != "" {
+		t.Fatalf("saturated worker accepted the job: %+v", st)
+	}
+	c.mu.Lock()
+	wait := c.jobs[st.ID].nextAttempt.Sub(clk.now())
+	c.mu.Unlock()
+	if wait <= 0 {
+		t.Errorf("429 did not schedule a backoff; nextAttempt wait = %v", wait)
+	}
+
+	// Before the backoff elapses, steps must not re-dispatch.
+	c.step(clk.now())
+	if got := jobState(t, c, st.ID); got.Node != "" {
+		t.Errorf("job dispatched before its Retry-After backoff elapsed")
+	}
+
+	close(release) // worker finishes its backlog
+	stepUntil(t, c, clk, "post-backoff dispatch and completion", func() bool {
+		return jobState(t, c, st.ID).State == simsvc.StateDone
+	})
+	if got := jobState(t, c, st.ID); got.Node != w.url() {
+		t.Errorf("job completed on %q, want the saturated-then-freed owner %q", got.Node, w.url())
+	}
+}
+
+// TestWorkerRejectionIsTerminal: a deterministic worker-side 4xx (spec
+// above the worker's trace cap) fails the job — no retry storm against a
+// rejection that will never succeed.
+func TestWorkerRejectionIsTerminal(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	w := newFakeWorker(t, simsvc.Config{Workers: 1, MaxTraceLen: 1000, RunSim: instantSim})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{}, w)
+
+	st, err := c.Submit([]byte(`{"scheme":"d-oram","benchmark":"face","k":1,"trace_len":5000}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if got := jobState(t, c, st.ID); got.State != simsvc.StateFailed {
+		t.Fatalf("over-cap job state %s, want failed", got.State)
+	}
+	if _, err := c.Result(st.ID); err == nil {
+		t.Errorf("failed job handed out a result")
+	}
+}
+
+// TestSubmitValidation: malformed specs are rejected coordinator-side
+// without consuming cluster capacity.
+func TestSubmitValidation(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, nil, CoordinatorConfig{})
+	if _, err := c.Submit([]byte(`{"scheme":"quantum"}`)); err == nil {
+		t.Fatalf("bad scheme admitted")
+	}
+	if _, err := c.Submit([]byte(`{nope`)); err == nil {
+		t.Fatalf("malformed JSON admitted")
+	}
+	if got := c.Registry().CounterValues()["cluster.jobs.submitted"]; got != 0 {
+		t.Errorf("invalid specs counted as submissions: %d", got)
+	}
+}
+
+// TestCancelForwarded: cancelling at the coordinator finalizes the
+// cluster job and releases the worker-side run.
+func TestCancelForwarded(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	started := make(chan string, 8)
+	blocking := func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		started <- cfg.Benchmark
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	w := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: blocking})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{}, w)
+
+	st, err := c.Submit(specJSON(9))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	if err := c.Cancel(st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if got := jobState(t, c, st.ID); got.State != simsvc.StateCancelled {
+		t.Fatalf("cancelled job state %s", got.State)
+	}
+	// The forwarded cancel reaches the worker and ends its run.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ws, err := w.svc.Status(st.RemoteID)
+		if err != nil {
+			t.Fatalf("worker status: %v", err)
+		}
+		if ws.State.Terminal() {
+			if ws.State != simsvc.StateCancelled {
+				t.Fatalf("worker-side state %s, want cancelled", ws.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never saw the forwarded cancel")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMergedVarz: the coordinator's /varz aggregates per-worker counters
+// and element-wise sums them.
+func TestMergedVarz(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	w1 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim})
+	w2 := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{}, w1, w2)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+
+	var ids []string
+	for seed := uint64(1); seed <= 6; seed++ {
+		st, err := c.Submit(specJSON(seed))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		id := id
+		stepUntil(t, c, clk, "varz sweep completion", func() bool { return jobState(t, c, id).State == simsvc.StateDone })
+	}
+
+	resp, err := http.Get(front.URL + "/varz")
+	if err != nil {
+		t.Fatalf("GET /varz: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc varzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding varz: %v", err)
+	}
+	if len(doc.Workers) != 2 {
+		t.Fatalf("varz covers %d workers, want 2: %+v", len(doc.Workers), doc)
+	}
+	var sum uint64
+	for _, wc := range doc.Workers {
+		sum += wc["simsvc.jobs.submitted"]
+	}
+	if sum != 6 || doc.Merged["simsvc.jobs.submitted"] != 6 {
+		t.Errorf("worker submissions sum %d, merged %d, want 6/6", sum, doc.Merged["simsvc.jobs.submitted"])
+	}
+	if doc.Cluster["cluster.jobs.completed"] != 6 {
+		t.Errorf("cluster completed = %d, want 6", doc.Cluster["cluster.jobs.completed"])
+	}
+	if len(doc.Unreachable) != 0 {
+		t.Errorf("unexpected unreachable workers: %v", doc.Unreachable)
+	}
+}
+
+// TestWorkerCacheHitFastPath: a spec the owner has already computed
+// completes in the submit round trip via the worker's result cache.
+func TestWorkerCacheHitFastPath(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	w := newFakeWorker(t, simsvc.Config{Workers: 1, RunSim: instantSim})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{}, w)
+
+	first, err := c.Submit(specJSON(11))
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	stepUntil(t, c, clk, "first completion", func() bool { return jobState(t, c, first.ID).State == simsvc.StateDone })
+
+	second, err := c.Submit(specJSON(11))
+	if err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if got := jobState(t, c, second.ID); got.State != simsvc.StateDone {
+		t.Fatalf("cache-hit resubmission is %s at submit return, want done", got.State)
+	}
+	r1, _ := c.Result(first.ID)
+	r2, _ := c.Result(second.ID)
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("cache-hit result bytes differ from the original")
+	}
+}

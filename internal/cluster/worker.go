@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// JoinConfig configures a worker's membership loop.
+type JoinConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8443).
+	Coordinator string
+	// Advertise is the base URL the coordinator should dial this worker
+	// at — the worker's cluster identity.
+	Advertise string
+	// Interval overrides the heartbeat cadence; 0 defers to the interval
+	// the coordinator returns at join.
+	Interval time.Duration
+	// RequestTimeout bounds each membership request; 0 means 5s.
+	RequestTimeout time.Duration
+	// Transport overrides the HTTP transport (test injection); nil means
+	// the default.
+	Transport http.RoundTripper
+	// Logf receives one-line membership events; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Join runs a worker's membership loop until ctx ends: register with the
+// coordinator (retrying with jittered backoff while it is unreachable),
+// then heartbeat at the agreed cadence. A heartbeat answered 404 means
+// the coordinator declared this worker dead (or restarted); the loop
+// re-joins, which also re-admits the worker to the ring. On ctx
+// cancellation a best-effort leave is sent so in-flight jobs re-dispatch
+// immediately instead of after the heartbeat timeout.
+func Join(ctx context.Context, cfg JoinConfig) error {
+	if cfg.Coordinator == "" || cfg.Advertise == "" {
+		return fmt.Errorf("cluster: join needs both a coordinator and an advertise URL")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	hc := &http.Client{Transport: cfg.Transport}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	body, _ := json.Marshal(JoinRequest{ID: cfg.Advertise})
+
+	post := func(path string) (int, []byte, error) {
+		rctx, cancel := context.WithTimeout(ctx, cfg.RequestTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, cfg.Coordinator+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return resp.StatusCode, data, err
+	}
+
+	// join registers, retrying with jittered exponential backoff until the
+	// coordinator answers or ctx ends. Returns the heartbeat interval.
+	join := func() (time.Duration, error) {
+		backoff := 250 * time.Millisecond
+		for {
+			code, data, err := post("/v1/cluster/join")
+			if err == nil && code == http.StatusOK {
+				var jr JoinResponse
+				if json.Unmarshal(data, &jr) == nil && jr.HeartbeatMillis > 0 {
+					cfg.Logf("cluster: joined %s as %s", cfg.Coordinator, cfg.Advertise)
+					return time.Duration(jr.HeartbeatMillis) * time.Millisecond, nil
+				}
+				err = fmt.Errorf("cluster: undecodable join response")
+			} else if err == nil {
+				err = fmt.Errorf("cluster: join rejected: %s", serverErrMsg(code, data))
+			}
+			cfg.Logf("cluster: join %s failed (%v), retrying in %s", cfg.Coordinator, err, backoff)
+			jittered := time.Duration(float64(backoff) * (0.75 + 0.5*rng.Float64()))
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(jittered):
+			}
+			if backoff *= 2; backoff > 10*time.Second {
+				backoff = 10 * time.Second
+			}
+		}
+	}
+
+	interval, err := join()
+	if err != nil {
+		return err
+	}
+	if cfg.Interval > 0 {
+		interval = cfg.Interval
+	}
+
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// Best-effort leave on a fresh context: ctx is already dead.
+			lctx, cancel := context.WithTimeout(context.Background(), cfg.RequestTimeout)
+			req, err := http.NewRequestWithContext(lctx, http.MethodPost, cfg.Coordinator+"/v1/cluster/leave", bytes.NewReader(body))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/json")
+				if resp, err := hc.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+			cancel()
+			return ctx.Err()
+		case <-t.C:
+			code, _, err := post("/v1/cluster/heartbeat")
+			switch {
+			case err != nil:
+				// Coordinator unreachable; keep heartbeating — it may come
+				// back before it (or its successor) times this worker out.
+				cfg.Logf("cluster: heartbeat failed: %v", err)
+			case code == http.StatusNotFound:
+				// Declared dead (or the coordinator restarted): re-join.
+				cfg.Logf("cluster: coordinator forgot %s, re-joining", cfg.Advertise)
+				if _, err := join(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

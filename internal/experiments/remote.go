@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -219,6 +220,12 @@ func newRemoteClient(endpoint string) *remoteClient {
 // the run is reported failed.
 const submitRetries = 20
 
+// transientRetries bounds how often a connection error or gateway error
+// (502/503/504) is retried inside do before the run is reported failed.
+// Retries only affect wall-clock behaviour — results stay bit-identical,
+// since re-submitting a spec is idempotent on the service side.
+const transientRetries = 6
+
 type wireJob struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
@@ -297,7 +304,40 @@ func terminalState(s string) bool {
 	return s == "done" || s == "failed" || s == "cancelled"
 }
 
+// do performs one request, transparently retrying transient failures —
+// connection errors (a worker restarting, a coordinator failing over) and
+// gateway errors 502/503/504 — with jittered exponential backoff. Other
+// statuses, including 429 backpressure (whose Retry-After policy belongs
+// to the caller) and 500 (the job's own failure), are returned as-is.
 func (rc *remoteClient) do(method, path string, body []byte) (int, []byte, http.Header, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		code, data, hdr, err := rc.doOnce(method, path, body)
+		transient := err != nil ||
+			code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+			code == http.StatusGatewayTimeout
+		if !transient {
+			return code, data, hdr, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("%s", serverError(code, data))
+		}
+		if attempt == transientRetries {
+			return 0, nil, nil, fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+		}
+		// 250ms·2^attempt capped at 10s, scaled by a random [0.5,1.5)
+		// factor so a fleet of clients doesn't retry in lockstep.
+		delay := 250 * time.Millisecond << attempt
+		if delay > 10*time.Second {
+			delay = 10 * time.Second
+		}
+		time.Sleep(time.Duration(float64(delay) * (0.5 + rand.Float64())))
+	}
+}
+
+func (rc *remoteClient) doOnce(method, path string, body []byte) (int, []byte, http.Header, error) {
 	req, err := http.NewRequest(method, rc.base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err

@@ -96,6 +96,11 @@ type Config struct {
 	// Only concurrency-safe instruments are registered, so the registry
 	// may be dumped (GET /varz) while jobs run.
 	Registry *metrics.Registry
+	// RunSim overrides the simulation entry point; nil means
+	// doram.SimulateContext. Tests (including the cluster chaos harness)
+	// substitute it to make pool behaviour — blocking, panicking, slow
+	// workers — deterministic.
+	RunSim func(context.Context, doram.SimConfig) (*doram.SimResult, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +201,11 @@ type Service struct {
 	draining bool
 	ewmaSec  float64 // smoothed job wall time, drives Retry-After
 
+	// runStart tracks when each in-flight run began; while the EWMA is
+	// cold (no job has completed yet) the oldest run's elapsed time is
+	// the best available lower bound on a job's duration.
+	runStart map[*Job]time.Time
+
 	queue      chan *Job
 	wg         sync.WaitGroup
 	baseCtx    context.Context
@@ -225,8 +235,12 @@ func New(cfg Config) *Service {
 		inflight: make(map[string]*Job),
 		cache:    newResultCache(cfg.CacheEntries),
 		queue:    make(chan *Job, cfg.QueueDepth),
+		runStart: make(map[*Job]time.Time),
 		reg:      reg,
 		runSim:   doram.SimulateContext,
+	}
+	if cfg.RunSim != nil {
+		s.runSim = cfg.RunSim
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.submitted = reg.SyncCounter("simsvc.jobs.submitted")
@@ -249,6 +263,16 @@ func New(cfg Config) *Service {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return uint64(s.cache.len())
+	})
+	reg.CounterFunc("simsvc.retry.ewma_ms", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(s.ewmaSec * 1000)
+	})
+	reg.CounterFunc("simsvc.retry.estimate_ms", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(s.retryAfterLocked().Milliseconds())
 	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -373,8 +397,18 @@ func (s *Service) finalizeLocked(job *Job, to State, res *doram.SimResult, errMs
 
 // retryAfterLocked estimates when queue capacity will free up: pending
 // work over pool width at the smoothed job duration, clamped to [1s, 60s].
+// While the EWMA is cold (nothing has completed yet) the oldest in-flight
+// run's elapsed time stands in — a lower bound on a job's true duration,
+// and already a far better signal than a flat guess when jobs run long.
 func (s *Service) retryAfterLocked() time.Duration {
 	per := s.ewmaSec
+	if per <= 0 {
+		for _, start := range s.runStart {
+			if sec := time.Since(start).Seconds(); sec > per {
+				per = sec
+			}
+		}
+	}
 	if per <= 0 {
 		per = 1
 	}
@@ -422,10 +456,11 @@ func (s *Service) runJob(job *Job) {
 		}
 	}
 	s.running++
+	start := time.Now()
+	s.runStart[job] = start
 	s.mu.Unlock()
 
 	s.simRuns.Inc()
-	start := time.Now()
 	res, err := s.safeRun(ctx, job.spec.SimConfig())
 	cancel()
 	dur := time.Since(start)
@@ -433,6 +468,7 @@ func (s *Service) runJob(job *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--
+	delete(s.runStart, job)
 	job.cancelRun = nil
 	if s.inflight[job.hash] == job {
 		delete(s.inflight, job.hash)

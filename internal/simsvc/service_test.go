@@ -462,6 +462,170 @@ func TestSubmitRejections(t *testing.T) {
 	}
 }
 
+// TestCancelRacesCompletion: Cancel arriving concurrently with job
+// completion must resolve to exactly one terminal state, with the result
+// available exactly when that state is done. Run under -race this also
+// proves the finalize/cancel paths share the lock correctly.
+func TestCancelRacesCompletion(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		release := make(chan struct{})
+		s := New(Config{Workers: 1, RunSim: blockingSim(nil, release)})
+
+		job, err := s.Submit(specWithSeed(uint64(i + 1)))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		waitState(t, s, job.ID(), StateRunning)
+
+		// Release the simulation and cancel at the same instant.
+		var cancelErr error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			cancelErr = s.Cancel(job.ID())
+		}()
+		close(release)
+		<-done
+		if cancelErr != nil {
+			t.Fatalf("cancel: %v", cancelErr)
+		}
+		<-job.Done()
+
+		st := job.Status()
+		res, resErr := s.Result(job.ID())
+		switch st.State {
+		case StateDone:
+			if resErr != nil || res == nil {
+				t.Fatalf("iter %d: done job has no result: %v", i, resErr)
+			}
+		case StateCancelled:
+			if resErr == nil {
+				t.Fatalf("iter %d: cancelled job handed out a result", i)
+			}
+		default:
+			t.Fatalf("iter %d: race ended in %s (%s)", i, st.State, st.Error)
+		}
+		// Exactly one terminal transition was recorded.
+		terminals := 0
+		for _, tr := range st.History {
+			if tr.State.Terminal() {
+				terminals++
+			}
+		}
+		if terminals != 1 {
+			t.Fatalf("iter %d: %d terminal transitions in history %+v", i, terminals, st.History)
+		}
+		closeService(t, s)
+	}
+}
+
+// TestSubmitAtExactQueueCapacity: with the pool busy, exactly QueueDepth
+// further submissions are admitted and the next one is the boundary 429,
+// carrying a usable Retry-After; draining one admitted job's slot is not
+// required for the accepted ones to finish.
+func TestSubmitAtExactQueueCapacity(t *testing.T) {
+	const depth = 3
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: depth, RunSim: blockingSim(started, release)})
+	defer closeService(t, s)
+
+	running, err := s.Submit(specWithSeed(100))
+	if err != nil {
+		t.Fatalf("submit runner: %v", err)
+	}
+	<-started // dequeued: the queue is empty, the worker busy
+
+	jobs := []*Job{running}
+	for i := 1; i <= depth; i++ {
+		j, err := s.Submit(specWithSeed(uint64(100 + i)))
+		if err != nil {
+			t.Fatalf("submit %d of %d (within capacity): %v", i, depth, err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	_, err = s.Submit(specWithSeed(999))
+	var se *Error
+	if !errors.As(err, &se) || se.Kind != ErrQueueFull {
+		t.Fatalf("submit beyond capacity: got %v, want ErrQueueFull", err)
+	}
+	if se.RetryAfter < time.Second || se.RetryAfter > time.Minute {
+		t.Errorf("boundary Retry-After %v outside [1s, 60s]", se.RetryAfter)
+	}
+	if got := counter(t, s, "simsvc.jobs.rejected"); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+
+	close(release)
+	for i, j := range jobs {
+		<-j.Done()
+		if st := j.Status(); st.State != StateDone {
+			t.Errorf("admitted job %d finished %s (%s), want done", i, st.State, st.Error)
+		}
+	}
+}
+
+// TestRetryAfterColdEstimate: before any job completes the EWMA is empty;
+// the estimate must fall back to the oldest in-flight run's elapsed time
+// instead of a flat guess, and both numbers surface in the registry.
+func TestRetryAfterColdEstimate(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 1, RunSim: blockingSim(nil, release)})
+	defer closeService(t, s)
+	defer close(release)
+
+	job, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, s, job.ID(), StateRunning)
+
+	// Pretend the run started 40s ago; the cold estimate must track it.
+	s.mu.Lock()
+	if s.ewmaSec != 0 {
+		t.Fatalf("EWMA %v warm before any completion", s.ewmaSec)
+	}
+	s.runStart[job] = time.Now().Add(-40 * time.Second)
+	est := s.retryAfterLocked()
+	s.mu.Unlock()
+	if est < 40*time.Second {
+		t.Errorf("cold estimate %v, want >= the 40s the in-flight run has already taken", est)
+	}
+
+	if got := counter(t, s, "simsvc.retry.estimate_ms"); got < 40_000 {
+		t.Errorf("varz retry.estimate_ms = %d, want >= 40000", got)
+	}
+	if got := counter(t, s, "simsvc.retry.ewma_ms"); got != 0 {
+		t.Errorf("varz retry.ewma_ms = %d before any completion, want 0", got)
+	}
+}
+
+// TestConfigRunSimHook: the exported Config.RunSim hook substitutes the
+// simulation entry point (the seam the cluster chaos harness scripts).
+func TestConfigRunSimHook(t *testing.T) {
+	s := New(Config{Workers: 1, RunSim: func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		return &doram.SimResult{AvgNSExecCycles: 42}, nil
+	}})
+	defer closeService(t, s)
+
+	job, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-job.Done()
+	res, err := s.Result(job.ID())
+	if err != nil || res.AvgNSExecCycles != 42 {
+		t.Fatalf("result %+v err %v, want the hook's sentinel 42", res, err)
+	}
+	s.mu.Lock()
+	seeded := s.ewmaSec
+	s.mu.Unlock()
+	if seeded <= 0 {
+		t.Errorf("EWMA %v after a completion, want seeded from the first job", seeded)
+	}
+}
+
 // TestLRUEviction: the cache holds at most CacheEntries results and evicts
 // the least recently used spec.
 func TestLRUEviction(t *testing.T) {
