@@ -34,12 +34,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
+
+	"doram/internal/xrand"
 )
 
 func usage() {
@@ -64,7 +65,7 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	c := &client{base: strings.TrimRight(server, "/")}
+	c := newClient(server)
 
 	cmd, args := args[0], args[1:]
 	var err error
@@ -102,6 +103,18 @@ func main() {
 
 type client struct {
 	base string
+	rng  *xrand.Rand // backoff jitter
+}
+
+// newClient seeds the backoff jitter from DORAMCTL_SEED when set (tests
+// pin it for reproducible retry schedules), else from the wall clock and
+// pid so a fleet of concurrently launched clients spreads out.
+func newClient(server string) *client {
+	seed, err := strconv.ParseUint(os.Getenv("DORAMCTL_SEED"), 10, 64)
+	if err != nil || seed == 0 {
+		seed = uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+	}
+	return &client{base: strings.TrimRight(server, "/"), rng: xrand.New(seed)}
 }
 
 // jobStatus mirrors the service's JobStatus closely enough to drive the
@@ -130,12 +143,12 @@ const (
 
 // backoff returns the jittered exponential delay for the given attempt
 // (0-based): base·2^attempt scaled by a random [0.5,1.5) factor, capped.
-func backoff(attempt int) time.Duration {
+func (c *client) backoff(attempt int) time.Duration {
 	d := retryBase << attempt
 	if d > retryCap {
 		d = retryCap
 	}
-	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+	return time.Duration(float64(d) * (0.5 + c.rng.Float64()))
 }
 
 // retryAfter reads a Retry-After header in seconds, with a default.
@@ -169,7 +182,7 @@ func (c *client) do(method, path string, body []byte) ([]byte, error) {
 			if transient >= maxTransientRetries {
 				return nil, fmt.Errorf("after %d attempts: %w", transient+1, err)
 			}
-			delay := backoff(transient)
+			delay := c.backoff(transient)
 			transient++
 			fmt.Fprintf(os.Stderr, "doramctl: %v, retrying in %s\n", err, delay.Round(time.Millisecond))
 			time.Sleep(delay)
@@ -181,7 +194,7 @@ func (c *client) do(method, path string, body []byte) ([]byte, error) {
 			if transient >= maxTransientRetries {
 				return nil, fmt.Errorf("after %d attempts: %w", transient+1, err)
 			}
-			delay := backoff(transient)
+			delay := c.backoff(transient)
 			transient++
 			time.Sleep(delay)
 			continue
@@ -190,13 +203,13 @@ func (c *client) do(method, path string, body []byte) ([]byte, error) {
 		case resp.StatusCode == http.StatusTooManyRequests && queued < maxQueueRetries:
 			delay := retryAfter(resp.Header, 2*time.Second)
 			// Jitter so a fleet of clients doesn't re-dogpile the queue.
-			delay = time.Duration(float64(delay) * (0.75 + rand.Float64()/2))
+			delay = time.Duration(float64(delay) * (0.75 + c.rng.Float64()/2))
 			queued++
 			fmt.Fprintf(os.Stderr, "doramctl: queue full, retrying in %s\n", delay.Round(time.Millisecond))
 			time.Sleep(delay)
 			continue
 		case transientStatus(resp.StatusCode) && transient < maxTransientRetries:
-			delay := retryAfter(resp.Header, backoff(transient))
+			delay := retryAfter(resp.Header, c.backoff(transient))
 			transient++
 			fmt.Fprintf(os.Stderr, "doramctl: HTTP %d, retrying in %s\n", resp.StatusCode, delay.Round(time.Millisecond))
 			time.Sleep(delay)

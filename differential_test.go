@@ -1,14 +1,16 @@
 package doram
 
 // Differential test harness for the fast-forward scheduler: every
-// configuration is run twice — once with the event-horizon loop (the
-// default) and once with the cycle-by-cycle reference loop — and the two
-// runs must be bit-identical in every observable: the full Results struct
-// (cycle counts, latency statistics, energy, link faults), the metrics
-// registry dump and sampled timeline, and the exported Chrome trace bytes.
-// Any divergence means a NextEvent method under-reported an event or a
-// Skip compensation miscounted, so failures here name the first differing
-// field rather than just "mismatch".
+// configuration is run three times — with the event-horizon loop ticking
+// memory units on the parallel worker pool, with the same loop forced
+// serial, and with the cycle-by-cycle reference loop — and the runs must
+// be bit-identical in every observable: the full Results struct (cycle
+// counts, latency statistics, energy, link faults), the metrics registry
+// dump and sampled timeline, and the exported Chrome trace bytes. Any
+// divergence means a NextEvent method under-reported an event, a Skip
+// compensation miscounted, or a deferred completion replayed out of
+// order, so failures here name the first differing field rather than just
+// "mismatch".
 
 import (
 	"bytes"
@@ -16,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -23,33 +26,69 @@ import (
 	"doram/internal/core"
 )
 
-// runPair executes cfg under both loops and returns (fastForward, naive).
-func runPair(t *testing.T, cfg core.Config) (*core.Results, *core.Results) {
+// runMode is one execution strategy under differential comparison.
+type runMode struct {
+	name     string
+	noFF     bool
+	forcePar bool
+}
+
+// diffModes are the three loops every differential case exercises. The
+// parallel mode uses ForceParallelMem so the worker-pool code path runs
+// even on a single-processor machine (where parallelMemEnabled would
+// otherwise fall back to the serial loop and the comparison would be
+// vacuous).
+var diffModes = []runMode{
+	{name: "ff-parallel", forcePar: true},
+	{name: "ff-serial"},
+	{name: "naive", noFF: true},
+}
+
+// runMode executes cfg under one execution strategy.
+func (m runMode) run(t *testing.T, cfg core.Config) *core.Results {
 	t.Helper()
-	run := func(noFF bool) *core.Results {
-		c := cfg
-		c.NoFastForward = noFF
-		sys, err := core.NewSystem(c)
-		if err != nil {
-			t.Fatalf("NewSystem(%+v): %v", c, err)
-		}
-		res, err := sys.Run()
-		if err != nil {
-			t.Fatalf("Run (noFF=%v): %v", noFF, err)
-		}
-		return res
+	res, err := m.start(cfg)
+	if err != nil {
+		t.Fatalf("Run (%s): %v", m.name, err)
 	}
-	return run(false), run(true)
+	return res
+}
+
+func (m runMode) start(cfg core.Config) (*core.Results, error) {
+	c := cfg
+	c.NoFastForward = m.noFF
+	c.ForceParallelMem = m.forcePar
+	c.NoParallelMem = !m.forcePar
+	sys, err := core.NewSystem(c)
+	if err != nil {
+		return nil, fmt.Errorf("NewSystem: %v", err)
+	}
+	return sys.Run()
+}
+
+// runModes executes cfg under all three loops and returns the results in
+// diffModes order: parallel fast-forward, serial fast-forward, naive.
+func runModes(t *testing.T, cfg core.Config) []*core.Results {
+	t.Helper()
+	out := make([]*core.Results, len(diffModes))
+	for i, m := range diffModes {
+		out[i] = m.run(t, cfg)
+	}
+	return out
 }
 
 // diffResults compares two Results field by field and returns the name of
 // the first differing field, or "" when identical. The Config field is
-// compared with NoFastForward normalized — it is the one input allowed to
-// differ.
+// compared with the execution-strategy knobs (NoFastForward,
+// NoParallelMem, ForceParallelMem) normalized — they are the inputs
+// allowed to differ.
 func diffResults(ff, naive *core.Results) string {
 	a, b := *ff, *naive
-	a.Config.NoFastForward = false
-	b.Config.NoFastForward = false
+	for _, c := range []*core.Config{&a.Config, &b.Config} {
+		c.NoFastForward = false
+		c.NoParallelMem = false
+		c.ForceParallelMem = false
+	}
 	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
 	for i := 0; i < va.NumField(); i++ {
 		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
@@ -59,30 +98,35 @@ func diffResults(ff, naive *core.Results) string {
 	return ""
 }
 
-// assertIdentical fails the test naming the first divergent observable.
-func assertIdentical(t *testing.T, cfg core.Config, ff, naive *core.Results) {
+// assertIdentical fails the test naming the first divergent observable
+// between any mode and the first (the parallel fast-forward run).
+func assertIdentical(t *testing.T, cfg core.Config, results []*core.Results) {
 	t.Helper()
-	if ff.Cycles != naive.Cycles {
-		t.Fatalf("cycle count diverged: fast-forward=%d naive=%d (cfg %+v)",
-			ff.Cycles, naive.Cycles, cfg)
-	}
-	if field := diffResults(ff, naive); field != "" {
-		t.Fatalf("Results.%s diverged between fast-forward and naive (cfg %+v)", field, cfg)
-	}
-	if (ff.Trace == nil) != (naive.Trace == nil) {
-		t.Fatalf("trace presence diverged")
-	}
-	if ff.Trace != nil {
-		var fb, nb bytes.Buffer
-		if err := ff.Trace.WriteChrome(&fb); err != nil {
-			t.Fatal(err)
+	ref := results[0]
+	for i, res := range results[1:] {
+		label := fmt.Sprintf("%s vs %s", diffModes[0].name, diffModes[i+1].name)
+		if ref.Cycles != res.Cycles {
+			t.Fatalf("cycle count diverged (%s): %d vs %d (cfg %+v)",
+				label, ref.Cycles, res.Cycles, cfg)
 		}
-		if err := naive.Trace.WriteChrome(&nb); err != nil {
-			t.Fatal(err)
+		if field := diffResults(ref, res); field != "" {
+			t.Fatalf("Results.%s diverged (%s) (cfg %+v)", field, label, cfg)
 		}
-		if !bytes.Equal(fb.Bytes(), nb.Bytes()) {
-			t.Fatalf("exported Chrome trace bytes diverged (%d vs %d bytes)",
-				fb.Len(), nb.Len())
+		if (ref.Trace == nil) != (res.Trace == nil) {
+			t.Fatalf("trace presence diverged (%s)", label)
+		}
+		if ref.Trace != nil {
+			var fb, nb bytes.Buffer
+			if err := ref.Trace.WriteChrome(&fb); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Trace.WriteChrome(&nb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fb.Bytes(), nb.Bytes()) {
+				t.Fatalf("exported Chrome trace bytes diverged (%s, %d vs %d bytes)",
+					label, fb.Len(), nb.Len())
+			}
 		}
 	}
 }
@@ -131,8 +175,7 @@ func TestDifferentialAllSchemes(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			ff, naive := runPair(t, tc.cfg)
-			assertIdentical(t, tc.cfg, ff, naive)
+			assertIdentical(t, tc.cfg, runModes(t, tc.cfg))
 		})
 	}
 }
@@ -170,8 +213,7 @@ func TestDifferentialObservability(t *testing.T) {
 			t.Parallel()
 			cfg := diffCfg(core.DORAM, 2)
 			v.mod(&cfg)
-			ff, naive := runPair(t, cfg)
-			assertIdentical(t, cfg, ff, naive)
+			assertIdentical(t, cfg, runModes(t, cfg))
 		})
 	}
 }
@@ -229,6 +271,156 @@ func TestFastForwardSpeedupGuard(t *testing.T) {
 		t.Fatalf("fast-forward speedup %.2fx below the %.1fx floor (naive %v, fast-forward %v)",
 			speedup, minSpeedup, naiveTime, ffTime)
 	}
+}
+
+// TestParallelMemSpeedupGuard is the wall-clock guard for the parallel
+// tick engine: on a memory-saturated multi-channel workload the
+// worker-pool loop must beat the forced-serial fast-forward loop, and the
+// two must agree on the cycle count. The parallel win comes from ticking
+// the four independent BOB channels concurrently between bus-edge
+// barriers, so the guard demands cores to spread over — it skips below
+// four — and, like TestFastForwardSpeedupGuard, only runs when
+// DORAM_SPEEDUP_GUARD is set because timing assertions are inherently
+// machine-dependent. The floor is deliberately modest: per-edge barrier
+// dispatch costs a few microseconds, so the net win on a saturated run is
+// real but far below the 4x unit count.
+func TestParallelMemSpeedupGuard(t *testing.T) {
+	if os.Getenv("DORAM_SPEEDUP_GUARD") == "" {
+		t.Skip("wall-clock guard; set DORAM_SPEEDUP_GUARD=1 to run")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("parallel wall-clock guard needs >=4 CPUs, have %d", runtime.NumCPU())
+	}
+	const minSpeedup = 1.05
+	cfg := core.DefaultConfig(core.DORAM, "libq")
+	cfg.NumNS = 3 // saturate all four channels
+	cfg.TraceLen = 4000
+	run := func(mode runMode) (time.Duration, uint64) {
+		best := time.Duration(0)
+		var cycles uint64
+		for i := 0; i < 3; i++ { // min of 3: rejects one-off scheduler hiccups
+			start := time.Now()
+			res, err := mode.start(cfg)
+			el := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best == 0 || el < best {
+				best = el
+			}
+			cycles = res.Cycles
+		}
+		return best, cycles
+	}
+	parTime, parCycles := run(diffModes[0])
+	serTime, serCycles := run(diffModes[1])
+	if parCycles != serCycles {
+		t.Fatalf("cycle count diverged: parallel=%d serial=%d", parCycles, serCycles)
+	}
+	speedup := float64(serTime) / float64(parTime)
+	t.Logf("memory-saturated speedup: %.2fx (serial %v, parallel %v, %d cycles)",
+		speedup, serTime, parTime, parCycles)
+	if speedup < minSpeedup {
+		t.Fatalf("parallel tick speedup %.2fx below the %.2fx floor (serial %v, parallel %v)",
+			speedup, minSpeedup, serTime, parTime)
+	}
+}
+
+// assertSameExports requires every run's metrics dump to serialize to the
+// same JSON and CSV bytes — the exported timeline, not just the in-memory
+// structs, is what plotting pipelines consume.
+func assertSameExports(t *testing.T, results []*core.Results) {
+	t.Helper()
+	encode := func(res *core.Results) (string, string) {
+		if res.Metrics == nil {
+			t.Fatalf("run produced no metrics dump")
+		}
+		var j, c bytes.Buffer
+		if err := res.Metrics.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Metrics.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	refJSON, refCSV := encode(results[0])
+	for i, res := range results[1:] {
+		j, c := encode(res)
+		if j != refJSON {
+			t.Fatalf("metrics JSON export diverged (%s vs %s)",
+				diffModes[0].name, diffModes[i+1].name)
+		}
+		if c != refCSV {
+			t.Fatalf("timeline CSV export diverged (%s vs %s)",
+				diffModes[0].name, diffModes[i+1].name)
+		}
+	}
+}
+
+// TestDifferentialTimelineBoundaries pins the epoch-sampled timeline at
+// the places elision could skew it: a run whose finish cycle lands in the
+// middle of an epoch (the final settleMem must account the partial epoch
+// identically), a fine epoch on an idle-heavy workload where jumps span
+// many sample boundaries (each boundary is a jump target and forces a
+// mid-jump settle), and MaxCycles truncation both mid-epoch and exactly
+// on a sample boundary (all loops must give up at the same cycle with the
+// same error).
+func TestDifferentialTimelineBoundaries(t *testing.T) {
+	t.Run("finish-mid-epoch", func(t *testing.T) {
+		t.Parallel()
+		cfg := diffCfg(core.DORAM, 2)
+		cfg.MetricsEpochCycles = 1000
+		results := runModes(t, cfg)
+		if results[0].Cycles%cfg.MetricsEpochCycles == 0 {
+			t.Fatalf("finish cycle %d lands on an epoch boundary; pick another epoch length",
+				results[0].Cycles)
+		}
+		assertIdentical(t, cfg, results)
+		assertSameExports(t, results)
+	})
+	t.Run("fine-epoch-across-jumps", func(t *testing.T) {
+		t.Parallel()
+		cfg := diffCfg(core.DORAM, 0)
+		cfg.Pace = 4000 // idle-heavy: fast-forward jumps cross many epochs
+		cfg.MetricsEpochCycles = 512
+		results := runModes(t, cfg)
+		if tl := results[0].Timeline; tl == nil || len(tl.Epochs) < 2 {
+			t.Fatal("run sampled fewer than two epochs; the case is vacuous")
+		}
+		assertIdentical(t, cfg, results)
+		assertSameExports(t, results)
+	})
+	truncated := func(t *testing.T, maxCycles uint64) {
+		t.Helper()
+		cfg := diffCfg(core.DORAM, 2)
+		cfg.MetricsEpochCycles = 4096
+		cfg.MaxCycles = maxCycles
+		var refErr error
+		for i, m := range diffModes {
+			_, err := m.start(cfg)
+			if err == nil {
+				t.Fatalf("%s: run under MaxCycles=%d finished without the overrun error",
+					m.name, maxCycles)
+			}
+			if i == 0 {
+				refErr = err
+				continue
+			}
+			if err.Error() != refErr.Error() {
+				t.Fatalf("overrun error diverged (%s vs %s):\n%v\n%v",
+					diffModes[0].name, m.name, refErr, err)
+			}
+		}
+	}
+	t.Run("maxcycles-mid-epoch", func(t *testing.T) {
+		t.Parallel()
+		truncated(t, 10_000) // 10000 % 4096 != 0: truncation inside an epoch
+	})
+	t.Run("maxcycles-on-epoch-boundary", func(t *testing.T) {
+		t.Parallel()
+		truncated(t, 8192) // 2*4096: truncation exactly on a sample boundary
+	})
 }
 
 // ffFuzzSeed returns the property-test seed: DORAM_FF_SEED when set (to
@@ -308,8 +500,7 @@ func TestDifferentialRandomConfigs(t *testing.T) {
 					t.Logf("replay: DORAM_FF_SEED=%d (case %d); failing config:\n%#v", seed, i, cfg)
 				}
 			}()
-			ff, naive := runPair(t, cfg)
-			assertIdentical(t, cfg, ff, naive)
+			assertIdentical(t, cfg, runModes(t, cfg))
 		})
 	}
 }

@@ -62,6 +62,100 @@ type SimpleController struct {
 	// track is the timeline row, e.g. "chan1.bob".
 	trace *evtrace.Tracer
 	track string
+
+	// freeFwd heads the fwdReq free list: sub-channel transactions are
+	// recycled at completion, so forwarding allocates nothing in steady
+	// state.
+	freeFwd *fwdReq
+}
+
+// fwdReq is one pooled sub-channel transaction forwarded off the on-board
+// queue: the controller request plus the response-path state completion
+// needs. onCompleteFn is the onComplete method value, bound once at
+// allocation.
+type fwdReq struct {
+	req      mc.Request
+	s        *SimpleController
+	ns       *NSRequest
+	submitAt uint64 // CPU cycle the CPU handed the packet to the link
+	readyAt  uint64 // CPU cycle the packet finished arriving at the BOB
+	fwdCPU   uint64 // CPU cycle the packet left the on-board queue
+
+	onCompleteFn func(*mc.Request, uint64)
+	next         *fwdReq
+}
+
+func (s *SimpleController) getFwd() *fwdReq {
+	f := s.freeFwd
+	if f == nil {
+		f = &fwdReq{s: s}
+		f.onCompleteFn = f.onComplete
+		return f
+	}
+	s.freeFwd = f.next
+	f.next = nil
+	return f
+}
+
+// putFwd recycles f. Safe at completion: the sub-channel controller drops
+// its reference before firing OnComplete, and every forwarded request gets
+// exactly one completion.
+func (s *SimpleController) putFwd(f *fwdReq) {
+	f.ns = nil
+	f.next = s.freeFwd
+	s.freeFwd = f
+}
+
+// onComplete finishes one forwarded request: reads send the response
+// packet back over the link (when anyone is listening) and fire OnDone;
+// writes fire OnWriteDrained. Both record the latency breakdown when a
+// tracer is attached. All request state is copied out before the pool
+// recycle so the object can be reused by a cascading forward.
+func (f *fwdReq) onComplete(mr *mc.Request, memDone uint64) {
+	s, r := f.s, f.ns
+	submitAt, readyAt, fwdCPU := f.submitAt, f.readyAt, f.fwdCPU
+	issuedAt := mr.IssuedAt
+	s.putFwd(f)
+	trace := s.trace
+	if !r.Write {
+		if r.OnDone == nil && trace == nil {
+			return // nobody waits for the response packet
+		}
+		// Response packet back over the link.
+		arrive := s.link.SendUpFor(r.TraceID, FullPacketBytes, clock.ToCPU(memDone))
+		if trace != nil {
+			issued, done := clock.ToCPU(issuedAt), clock.ToCPU(memDone)
+			trace.RecordStages(evtrace.KindNSRead, r.TraceID, submitAt, arrive-submitAt,
+				evtrace.Stage{Name: "link_down", Dur: readyAt - submitAt},
+				evtrace.Stage{Name: "bob_queue", Dur: fwdCPU - readyAt},
+				evtrace.Stage{Name: "mc_queue", Dur: issued - fwdCPU},
+				evtrace.Stage{Name: "dram", Dur: done - issued},
+				evtrace.Stage{Name: "link_up", Dur: arrive - done})
+			trace.Emit(s.track, "ns", "ns_read", r.TraceID, submitAt, arrive, 0)
+			trace.Emit(s.track, "ns", "queued", r.TraceID, readyAt, fwdCPU, 0)
+		}
+		if r.OnDone != nil {
+			r.OnDone(arrive)
+		}
+		return
+	}
+	if r.OnWriteDrained == nil && trace == nil {
+		return
+	}
+	done := clock.ToCPU(memDone)
+	if trace != nil {
+		issued := clock.ToCPU(issuedAt)
+		trace.RecordStages(evtrace.KindNSWrite, r.TraceID, submitAt, done-submitAt,
+			evtrace.Stage{Name: "link_down", Dur: readyAt - submitAt},
+			evtrace.Stage{Name: "bob_queue", Dur: fwdCPU - readyAt},
+			evtrace.Stage{Name: "mc_queue", Dur: issued - fwdCPU},
+			evtrace.Stage{Name: "dram", Dur: done - issued})
+		trace.Emit(s.track, "ns", "ns_write", r.TraceID, submitAt, done, 0)
+		trace.Emit(s.track, "ns", "queued", r.TraceID, readyAt, fwdCPU, 0)
+	}
+	if r.OnWriteDrained != nil {
+		r.OnWriteDrained(done)
+	}
 }
 
 // NewSimpleController builds a controller over the given link and
@@ -191,7 +285,9 @@ func (s *SimpleController) Skip(n uint64) {
 	}
 }
 
-// forward moves one request into its sub-channel controller.
+// forward moves one request into its sub-channel controller via a pooled
+// transaction. The completion callback is always attached — with nothing
+// to deliver it only recycles the pool object.
 func (s *SimpleController) forward(a arrivedReq, memNow uint64) bool {
 	r := a.req
 	sub := s.subs[r.Coord.Bus]
@@ -199,50 +295,13 @@ func (s *SimpleController) forward(a arrivedReq, memNow uint64) bool {
 	if r.Write {
 		op = mc.OpWrite
 	}
-	req := &mc.Request{Op: op, Coord: r.Coord, AppID: r.AppID, TraceID: r.TraceID}
-	trace := s.trace
-	submitAt, readyAt, fwdCPU := a.submitAt, a.readyAt, clock.ToCPU(memNow)
-	if !r.Write && (r.OnDone != nil || trace != nil) {
-		onDone := r.OnDone
-		req.OnComplete = func(mr *mc.Request, memDone uint64) {
-			// Response packet back over the link.
-			arrive := s.link.SendUpFor(r.TraceID, FullPacketBytes, clock.ToCPU(memDone))
-			if trace != nil {
-				issued, done := clock.ToCPU(mr.IssuedAt), clock.ToCPU(memDone)
-				trace.RecordStages(evtrace.KindNSRead, r.TraceID, submitAt, arrive-submitAt,
-					evtrace.Stage{Name: "link_down", Dur: readyAt - submitAt},
-					evtrace.Stage{Name: "bob_queue", Dur: fwdCPU - readyAt},
-					evtrace.Stage{Name: "mc_queue", Dur: issued - fwdCPU},
-					evtrace.Stage{Name: "dram", Dur: done - issued},
-					evtrace.Stage{Name: "link_up", Dur: arrive - done})
-				trace.Emit(s.track, "ns", "ns_read", r.TraceID, submitAt, arrive, 0)
-				trace.Emit(s.track, "ns", "queued", r.TraceID, readyAt, fwdCPU, 0)
-			}
-			if onDone != nil {
-				onDone(arrive)
-			}
-		}
-	}
-	if r.Write && (r.OnWriteDrained != nil || trace != nil) {
-		onDrained := r.OnWriteDrained
-		req.OnComplete = func(mr *mc.Request, memDone uint64) {
-			done := clock.ToCPU(memDone)
-			if trace != nil {
-				issued := clock.ToCPU(mr.IssuedAt)
-				trace.RecordStages(evtrace.KindNSWrite, r.TraceID, submitAt, done-submitAt,
-					evtrace.Stage{Name: "link_down", Dur: readyAt - submitAt},
-					evtrace.Stage{Name: "bob_queue", Dur: fwdCPU - readyAt},
-					evtrace.Stage{Name: "mc_queue", Dur: issued - fwdCPU},
-					evtrace.Stage{Name: "dram", Dur: done - issued})
-				trace.Emit(s.track, "ns", "ns_write", r.TraceID, submitAt, done, 0)
-				trace.Emit(s.track, "ns", "queued", r.TraceID, readyAt, fwdCPU, 0)
-			}
-			if onDrained != nil {
-				onDrained(done)
-			}
-		}
-	}
-	if !sub.Enqueue(req, memNow) {
+	f := s.getFwd()
+	f.ns = r
+	f.submitAt, f.readyAt, f.fwdCPU = a.submitAt, a.readyAt, clock.ToCPU(memNow)
+	f.req = mc.Request{Op: op, Coord: r.Coord, AppID: r.AppID, TraceID: r.TraceID,
+		OnComplete: f.onCompleteFn}
+	if !sub.Enqueue(&f.req, memNow) {
+		s.putFwd(f)
 		return false
 	}
 	s.stats.Forwarded.Inc()

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"doram"
 	"doram/internal/metrics"
 	"doram/internal/simsvc"
+	"doram/internal/xrand"
 )
 
 // CoordinatorConfig tunes a Coordinator. Zero values select the
@@ -54,6 +54,11 @@ type CoordinatorConfig struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 	BreakerProbes    int
+
+	// Seed pins the backoff-jitter PRNG for reproducible retry schedules;
+	// 0 means the fixed default seed (the coordinator's jitter has never
+	// been wall-clock seeded — tests replay identical schedules).
+	Seed uint64
 
 	// Transport overrides the HTTP transport used to reach workers (the
 	// deterministic-test injection point); nil means the default.
@@ -184,7 +189,7 @@ type Coordinator struct {
 	ring  *ring
 	jobs  map[string]*cjob
 	seq   uint64
-	rng   *rand.Rand // backoff jitter; guarded by mu
+	rng   *xrand.Rand // backoff jitter; guarded by mu
 
 	reg *metrics.Registry
 	// Counters; all concurrency-safe.
@@ -208,7 +213,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		nodes: make(map[string]*node),
 		ring:  newRing(cfg.RingReplicas),
 		jobs:  make(map[string]*cjob),
-		rng:   rand.New(rand.NewSource(1)),
+		rng:   xrand.New(max(cfg.Seed, 1)),
 		reg:   reg,
 	}
 	c.submitted = reg.SyncCounter("cluster.jobs.submitted")

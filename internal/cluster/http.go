@@ -61,6 +61,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) // a write error means the client hung up; nothing to do
 }
 
+// retryAfterSecs renders d as a Retry-After header value in whole seconds,
+// clamped to at least 1 — mirroring simsvc. A sub-second hint would round
+// to "0", which retryAfterFrom (secs > 0) and doramctl discard, so clients
+// would fall back to their defaults instead of the coordinator's hint.
+func retryAfterSecs(d time.Duration) string {
+	secs := int(d.Seconds() + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // writeError maps a simsvc.Error to the same transport representation the
 // worker API uses, so clients see one error surface cluster-wide.
 func writeError(w http.ResponseWriter, err error) {
@@ -77,7 +89,7 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case simsvc.ErrQueueFull:
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.Itoa(int(se.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", retryAfterSecs(se.RetryAfter))
 	case simsvc.ErrDraining:
 		code = http.StatusServiceUnavailable
 	case simsvc.ErrConflict:
@@ -141,7 +153,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			var se *simsvc.Error
 			if errors.As(err, &se) && se.Kind == simsvc.ErrQueueFull {
 				backpressured = true
-				retryAfter = strconv.Itoa(int(se.RetryAfter.Seconds() + 0.5))
+				retryAfter = retryAfterSecs(se.RetryAfter)
 			}
 			continue
 		}

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"doram/internal/simsvc"
+)
+
+// TestRetryAfterHeaderClamped is the cluster-side regression test for the
+// Retry-After rounding bug: a sub-second RetryAfter used to render as "0",
+// which retryAfterFrom (secs > 0) and doramctl discard, so the
+// coordinator's backpressure hint never reached clients. The emitted header
+// must be at least "1" and must survive a parse round-trip.
+func TestRetryAfterHeaderClamped(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, &simsvc.Error{Kind: simsvc.ErrQueueFull, Msg: "full",
+		RetryAfter: 300 * time.Millisecond})
+	if rec.Code != 429 {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q for a 300ms hint, want %q", got, "1")
+	}
+
+	// Round-trip: the header a coordinator emits must be accepted by the
+	// client-side parser rather than falling back to the default.
+	def := 5 * time.Second
+	if got := retryAfterFrom(rec.Header(), def); got != time.Second {
+		t.Errorf("retryAfterFrom(emitted header) = %v, want 1s (fell back to default %v?)", got, def)
+	}
+
+	if got := retryAfterSecs(2500 * time.Millisecond); got != "3" {
+		t.Errorf("retryAfterSecs(2.5s) = %q, want %q", got, "3")
+	}
+}

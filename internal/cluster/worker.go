@@ -7,9 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net/http"
 	"time"
+
+	"doram/internal/xrand"
 )
 
 // JoinConfig configures a worker's membership loop.
@@ -29,6 +30,10 @@ type JoinConfig struct {
 	Transport http.RoundTripper
 	// Logf receives one-line membership events; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// Seed pins the backoff-jitter PRNG for reproducible retry schedules
+	// in tests; 0 derives one from the advertise URL and the wall clock
+	// so a restarting fleet of workers spreads out.
+	Seed uint64
 }
 
 // Join runs a worker's membership loop until ctx ends: register with the
@@ -49,7 +54,11 @@ func Join(ctx context.Context, cfg JoinConfig) error {
 		cfg.Logf = log.Printf
 	}
 	hc := &http.Client{Transport: cfg.Transport}
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = xrand.HashString(cfg.Advertise) ^ uint64(time.Now().UnixNano())
+	}
+	rng := xrand.New(seed)
 	body, _ := json.Marshal(JoinRequest{ID: cfg.Advertise})
 
 	post := func(path string) (int, []byte, error) {

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"doram/internal/clock"
+	"doram/internal/mc"
+)
+
+// memPar is the parallel memory-domain tick engine: a persistent worker
+// pool that ticks the system's independent memory units — one per BOB
+// channel or per direct-attached controller — concurrently between
+// bus-edge barriers of the fast-forward loop.
+//
+// Between two memory edges no unit observes another unit's state: each BOB
+// channel owns its serial link, sub-channel controllers and DRAM devices,
+// and cross-unit effects travel only through completion callbacks (into
+// the delegator, the latency histograms, the cores). Those callbacks are
+// deferred via mc.CompletionSink while workers run and replayed on the
+// barrier thread in unit order, which is exactly the order the serial loop
+// fires them in: within a unit the sink preserves single-threaded
+// execution order, and across units the serial loop runs unit i's tick —
+// callbacks included — before unit i+1's. Callbacks never enqueue into a
+// controller inline (delegator retries go through its scheduler and run at
+// the next SD tick; secmem fans out only from the CPU-domain Access), so
+// replaying them after the barrier leaves every controller's edge
+// decisions untouched. The differential harness enforces bit-identical
+// Results against both serial loops.
+type memPar struct {
+	sys *System
+
+	// units: indexes [0, len(bobs)) are BOB channels, the rest direct
+	// controllers. sinks[i] collects unit i's deferred completions.
+	nBobs  int
+	nUnits int
+	sinks  []mc.CompletionSink
+
+	// Per-edge state, written by the barrier thread before dispatch and
+	// read by workers after the channel receive (happens-before via the
+	// work channel), plus scratch for the eligible-unit list.
+	cyc      uint64
+	memNow   uint64
+	lz       *memLazy
+	eligible []int
+
+	work chan int
+	wg   sync.WaitGroup
+}
+
+// parallelMemEnabled reports whether Run should tick the memory domain on
+// the worker pool. The serial loop remains the oracle: Config.NoParallelMem
+// forces it, event tracing requires it (tracers emit spans inline from
+// controller ticks, and span order must stay byte-identical), and a lone
+// unit or a single-processor runtime makes the pool pure overhead unless a
+// test forces the parallel path to be exercised anyway.
+func (s *System) parallelMemEnabled() bool {
+	if s.cfg.NoParallelMem || s.cfg.TraceEvents {
+		return false
+	}
+	if len(s.bobs)+len(s.directMCs) < 2 {
+		return false
+	}
+	return s.cfg.ForceParallelMem || runtime.GOMAXPROCS(0) > 1
+}
+
+// newMemPar builds the pool and starts one persistent worker per unit.
+// Workers block on the work channel between edges; stop releases them.
+func newMemPar(s *System) *memPar {
+	n := len(s.bobs) + len(s.directMCs)
+	pp := &memPar{
+		sys:      s,
+		nBobs:    len(s.bobs),
+		nUnits:   n,
+		sinks:    make([]mc.CompletionSink, n),
+		eligible: make([]int, 0, n),
+		work:     make(chan int),
+	}
+	for i := 0; i < n; i++ {
+		go pp.worker()
+	}
+	return pp
+}
+
+// stop terminates the worker goroutines. The pool must be idle.
+func (pp *memPar) stop() { close(pp.work) }
+
+func (pp *memPar) worker() {
+	for u := range pp.work {
+		pp.tickUnit(u)
+		pp.wg.Done()
+	}
+}
+
+// unitMCs returns unit u's controllers — the ones whose completions must
+// defer while the unit ticks concurrently.
+func (pp *memPar) unitMCs(u int) []*mc.Controller {
+	if u < pp.nBobs {
+		return pp.sys.bobs[u].SubChannels()
+	}
+	return pp.sys.directMCs[u-pp.nBobs : u-pp.nBobs+1]
+}
+
+// tickUnit runs one unit's lazy edge tick: settle elided accounting, tick,
+// re-cache the horizon. It writes only unit-local component state and unit
+// u's slots of the memLazy arrays, so concurrent units never race.
+func (pp *memPar) tickUnit(u int) {
+	lz, cyc, memNow := pp.lz, pp.cyc, pp.memNow
+	if u < pp.nBobs {
+		b := pp.sys.bobs[u]
+		if memNow > lz.bobSet[u] {
+			b.Skip(memNow - lz.bobSet[u])
+		}
+		b.Tick(cyc)
+		lz.bobSet[u] = memNow + 1
+		lz.bobNext[u] = b.NextEvent(cyc)
+		return
+	}
+	i := u - pp.nBobs
+	m := pp.sys.directMCs[i]
+	if memNow > lz.mcSet[i] {
+		m.Skip(memNow - lz.mcSet[i])
+	}
+	m.Tick(memNow)
+	lz.mcSet[i] = memNow + 1
+	if t := m.NextEvent(memNow); t == clock.Never {
+		lz.mcNext[i] = clock.Never
+	} else {
+		lz.mcNext[i] = clock.ToCPU(t)
+	}
+}
+
+// tickEdge runs one memory edge's eligible units on the pool and replays
+// their deferred completions. Eligibility mirrors the serial loop in
+// tickMemLazy exactly; with fewer than two eligible units the tick runs
+// inline on the barrier thread with callbacks firing in place, which is
+// the serial behaviour by definition.
+func (pp *memPar) tickEdge(cyc, memNow uint64, lz *memLazy, invalAll, sdDue, ocDue bool) {
+	s := pp.sys
+	elig := pp.eligible[:0]
+	for i := range s.bobs {
+		if invalAll || (sdDue && (i == 0 || s.sdAllBobs)) || lz.bobNext[i] <= cyc {
+			elig = append(elig, i)
+		}
+	}
+	for i := range s.directMCs {
+		if invalAll || ocDue || lz.mcNext[i] <= cyc {
+			elig = append(elig, pp.nBobs+i)
+		}
+	}
+	pp.eligible = elig
+	if len(elig) == 0 {
+		return
+	}
+	pp.cyc, pp.memNow, pp.lz = cyc, memNow, lz
+	if len(elig) == 1 {
+		pp.tickUnit(elig[0])
+		return
+	}
+	for _, u := range elig {
+		for _, c := range pp.unitMCs(u) {
+			c.SetSink(&pp.sinks[u])
+		}
+	}
+	pp.wg.Add(len(elig))
+	for _, u := range elig {
+		pp.work <- u
+	}
+	pp.wg.Wait()
+	for _, u := range elig {
+		for _, c := range pp.unitMCs(u) {
+			c.SetSink(nil)
+		}
+	}
+	for _, u := range elig {
+		pp.sinks[u].Drain()
+	}
+}

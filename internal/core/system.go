@@ -63,6 +63,116 @@ type System struct {
 	// the secure channel to every BOB channel: with tree-top splitting
 	// (SplitK > 0) the SD also enqueues relocated blocks remotely.
 	sdAllBobs bool
+
+	// par, when non-nil, is the parallel memory-domain tick engine the
+	// fast-forward loop hands eligible edge ticks to (see parallel.go).
+	// It lives only for the duration of Run.
+	par *memPar
+
+	// Free lists for the NS-App port requests (one per backend kind).
+	// Allocation and recycling both happen on the barrier thread — Access
+	// from tickCPU, completions inline or via an ordered sink drain — so
+	// the lists need no locking.
+	freeNS     *nsReq
+	freeDirect *directReq
+}
+
+// nsReq is one pooled BOB-port request: the NSRequest crossing the link
+// plus the latency-recording state its completions need. The two callback
+// method values are bound once at allocation.
+type nsReq struct {
+	ns     bob.NSRequest
+	sys    *System
+	ch     int
+	issue  uint64
+	onDone func(uint64) // the core's read callback
+
+	onDoneFn    func(uint64)
+	onDrainedFn func(uint64)
+	next        *nsReq
+}
+
+func (s *System) getNSReq() *nsReq {
+	r := s.freeNS
+	if r == nil {
+		r = &nsReq{sys: s}
+		r.onDoneFn = r.done
+		r.onDrainedFn = r.drained
+		return r
+	}
+	s.freeNS = r.next
+	r.next = nil
+	return r
+}
+
+func (s *System) putNSReq(r *nsReq) {
+	r.onDone = nil
+	r.next = s.freeNS
+	s.freeNS = r
+}
+
+// done finishes a read: the response packet reached the CPU.
+func (r *nsReq) done(doneCycle uint64) {
+	sys, ch, issue, onDone := r.sys, r.ch, r.issue, r.onDone
+	sys.putNSReq(r)
+	sys.recordRead(ch, doneCycle-issue)
+	if onDone != nil {
+		onDone(doneCycle)
+	}
+}
+
+// drained finishes a posted write: the data reached the DRAM device.
+func (r *nsReq) drained(doneCycle uint64) {
+	sys, ch, issue := r.sys, r.ch, r.issue
+	sys.putNSReq(r)
+	sys.recordWrite(ch, doneCycle-issue)
+}
+
+// directReq is one pooled direct-attached-port request; the controller
+// completion callback is bound once at allocation.
+type directReq struct {
+	req    mc.Request
+	sys    *System
+	ch     int
+	issue  uint64
+	onDone func(uint64) // the core's read callback
+
+	onCompleteFn func(*mc.Request, uint64)
+	next         *directReq
+}
+
+func (s *System) getDirectReq() *directReq {
+	r := s.freeDirect
+	if r == nil {
+		r = &directReq{sys: s}
+		r.onCompleteFn = r.onComplete
+		return r
+	}
+	s.freeDirect = r.next
+	r.next = nil
+	return r
+}
+
+func (s *System) putDirectReq(r *directReq) {
+	r.onDone = nil
+	r.next = s.freeDirect
+	s.freeDirect = r
+}
+
+func (r *directReq) onComplete(mr *mc.Request, memDone uint64) {
+	sys, ch, issue, onDone := r.sys, r.ch, r.issue, r.onDone
+	done := clock.ToCPU(memDone)
+	write := mr.Op == mc.OpWrite
+	if write {
+		sys.recordWrite(ch, done-issue)
+	} else {
+		sys.recordRead(ch, done-issue)
+	}
+	sys.traceDirectNS(mr, ch, issue, done, write)
+	sys.putDirectReq(r)
+	if !write && onDone != nil {
+		onDone(done)
+	}
 }
 
 // appBase separates per-application address spaces so different apps use
@@ -406,28 +516,18 @@ func (p *directPort) Access(write bool, addr uint64, now uint64, onDone func(uin
 	if write {
 		op = mc.OpWrite
 	}
-	req := &mc.Request{Op: op, Coord: coord, AppID: p.appID}
-	sys, issue := p.sys, now
+	sys := p.sys
+	r := sys.getDirectReq()
+	r.ch, r.issue, r.onDone = ch, now, onDone
+	r.req = mc.Request{Op: op, Coord: coord, AppID: p.appID, OnComplete: r.onCompleteFn}
 	if sys.trace != nil {
-		req.TraceID = sys.trace.RequestID()
+		r.req.TraceID = sys.trace.RequestID()
 	}
-	if write {
-		req.OnComplete = func(r *mc.Request, memDone uint64) {
-			done := clock.ToCPU(memDone)
-			sys.recordWrite(ch, done-issue)
-			sys.traceDirectNS(r, ch, issue, done, true)
-		}
-	} else {
-		req.OnComplete = func(r *mc.Request, memDone uint64) {
-			done := clock.ToCPU(memDone)
-			sys.recordRead(ch, done-issue)
-			sys.traceDirectNS(r, ch, issue, done, false)
-			if onDone != nil {
-				onDone(done)
-			}
-		}
+	if !sys.directMCs[ch].Enqueue(&r.req, clock.ToMem(now)) {
+		sys.putDirectReq(r)
+		return false
 	}
-	return p.sys.directMCs[ch].Enqueue(req, clock.ToMem(now))
+	return true
 }
 
 // bobPort routes an NS-App's accesses over the serial links of the BOB
@@ -443,22 +543,23 @@ type bobPort struct {
 func (p *bobPort) Access(write bool, addr uint64, now uint64, onDone func(uint64)) bool {
 	ch, localAddr := route(addr, p.channels)
 	coord := p.sys.chanMappers[ch].Map(p.base + localAddr)
-	sys, issue := p.sys, now
-	req := &bob.NSRequest{Write: write, Coord: coord, AppID: p.appID}
+	sys := p.sys
+	r := sys.getNSReq()
+	r.ch, r.issue, r.onDone = ch, now, onDone
+	r.ns = bob.NSRequest{Write: write, Coord: coord, AppID: p.appID}
 	if sys.trace != nil {
-		req.TraceID = sys.trace.RequestID()
+		r.ns.TraceID = sys.trace.RequestID()
 	}
 	if write {
-		req.OnWriteDrained = func(done uint64) { sys.recordWrite(ch, done-issue) }
+		r.ns.OnWriteDrained = r.onDrainedFn
 	} else {
-		req.OnDone = func(done uint64) {
-			sys.recordRead(ch, done-issue)
-			if onDone != nil {
-				onDone(done)
-			}
-		}
+		r.ns.OnDone = r.onDoneFn
 	}
-	return p.sys.bobs[ch].Submit(req, now)
+	if !sys.bobs[ch].Submit(&r.ns, now) {
+		sys.putNSReq(r)
+		return false
+	}
+	return true
 }
 
 // secMemPort adapts the secure-memory model to an S-App core, applying
@@ -667,6 +768,14 @@ func (s *System) runFastForward(st *runState) (uint64, *memLazy) {
 		mcSet:   make([]uint64, len(s.directMCs)),
 		memNext: clock.Never,
 	}
+	if s.parallelMemEnabled() {
+		pp := newMemPar(s)
+		s.par = pp
+		defer func() {
+			s.par = nil
+			pp.stop()
+		}()
+	}
 	var cyc, cpuHorizon, iter uint64
 	cpuActive := false
 	for cyc < s.cfg.MaxCycles {
@@ -776,6 +885,9 @@ func (s *System) tickCPU(cyc uint64, st *runState) {
 // edge — means new work may have been enqueued anywhere. Elided accounting
 // for skipped edges is settled in bulk just before a component's next real
 // tick. Tick order among ticked components matches the reference loop.
+// With the parallel engine armed, eligible controllers tick concurrently
+// between this edge's barriers instead (see memPar); the delegators still
+// tick serially here because their schedulers enqueue across channels.
 func (s *System) tickMemLazy(cyc uint64, lz *memLazy, cpuActive bool) {
 	memNow := clock.ToMem(cyc)
 	invalAll := cpuActive || cyc == 0
@@ -804,27 +916,31 @@ func (s *System) tickMemLazy(cyc uint64, lz *memLazy, cpuActive bool) {
 	for _, oc := range s.onchips {
 		oc.Tick(cyc)
 	}
-	for i, b := range s.bobs {
-		if invalAll || (sdDue && (i == 0 || s.sdAllBobs)) || lz.bobNext[i] <= cyc {
-			if memNow > lz.bobSet[i] {
-				b.Skip(memNow - lz.bobSet[i])
+	if s.par != nil {
+		s.par.tickEdge(cyc, memNow, lz, invalAll, sdDue, ocDue)
+	} else {
+		for i, b := range s.bobs {
+			if invalAll || (sdDue && (i == 0 || s.sdAllBobs)) || lz.bobNext[i] <= cyc {
+				if memNow > lz.bobSet[i] {
+					b.Skip(memNow - lz.bobSet[i])
+				}
+				b.Tick(cyc)
+				lz.bobSet[i] = memNow + 1
+				lz.bobNext[i] = b.NextEvent(cyc)
 			}
-			b.Tick(cyc)
-			lz.bobSet[i] = memNow + 1
-			lz.bobNext[i] = b.NextEvent(cyc)
 		}
-	}
-	for i, m := range s.directMCs {
-		if invalAll || ocDue || lz.mcNext[i] <= cyc {
-			if memNow > lz.mcSet[i] {
-				m.Skip(memNow - lz.mcSet[i])
-			}
-			m.Tick(memNow)
-			lz.mcSet[i] = memNow + 1
-			if t := m.NextEvent(memNow); t == clock.Never {
-				lz.mcNext[i] = clock.Never
-			} else {
-				lz.mcNext[i] = clock.ToCPU(t)
+		for i, m := range s.directMCs {
+			if invalAll || ocDue || lz.mcNext[i] <= cyc {
+				if memNow > lz.mcSet[i] {
+					m.Skip(memNow - lz.mcSet[i])
+				}
+				m.Tick(memNow)
+				lz.mcSet[i] = memNow + 1
+				if t := m.NextEvent(memNow); t == clock.Never {
+					lz.mcNext[i] = clock.Never
+				} else {
+					lz.mcNext[i] = clock.ToCPU(t)
+				}
 			}
 		}
 	}

@@ -58,13 +58,28 @@ type Stats struct {
 	FetchStalls  stats.Counter // cycles fetch blocked on a full memory queue
 }
 
-// memOp tracks one in-flight memory instruction.
+// memOp tracks one in-flight memory instruction. Ops are pooled on the
+// core (ROB occupancy bounds the live set) and their completion callback
+// is a method value bound at allocation, so fetching a memory instruction
+// allocates nothing in steady state.
 type memOp struct {
 	instrIdx uint64
 	write    bool
 	addr     uint64
 	done     bool
 	issuedAt uint64
+
+	core     *Core
+	onDoneFn func(uint64)
+	next     *memOp // free list
+}
+
+// onDone is the read-completion callback handed to the memory port.
+func (op *memOp) onDone(doneCycle uint64) {
+	op.done = true
+	if doneCycle >= op.issuedAt {
+		op.core.stats.ReadLatency.Observe(doneCycle - op.issuedAt)
+	}
 }
 
 // Core executes one application trace.
@@ -77,7 +92,12 @@ type Core struct {
 	fetchIdx  uint64 // instructions fetched into the ROB
 	retireIdx uint64 // instructions retired
 
-	ops []*memOp // program-order FIFO of unretired memory instructions
+	// Program-order FIFO of unretired memory instructions: the live window
+	// is ops[opHead:]. Retirement advances opHead instead of reslicing so
+	// the backing array is reused; fetch compacts it when full.
+	ops     []*memOp
+	opHead  int
+	freeOps *memOp
 
 	// Next trace record, already positioned at an absolute instruction
 	// index (nextOpIdx counts the record's Gap non-memory instructions
@@ -117,6 +137,31 @@ func (c *Core) Done() bool {
 // Done is true).
 func (c *Core) FinishedAt() uint64 { return c.finishedAt }
 
+// opCount returns the number of unretired memory instructions.
+func (c *Core) opCount() int { return len(c.ops) - c.opHead }
+
+// frontOp returns the oldest unretired memory instruction.
+func (c *Core) frontOp() *memOp { return c.ops[c.opHead] }
+
+func (c *Core) getOp() *memOp {
+	op := c.freeOps
+	if op == nil {
+		op = &memOp{core: c}
+		op.onDoneFn = op.onDone
+		return op
+	}
+	c.freeOps = op.next
+	op.next = nil
+	return op
+}
+
+// putOp recycles op. Safe at retirement: a read only retires once done,
+// i.e. after its single onDone fired, so nothing else references it.
+func (c *Core) putOp(op *memOp) {
+	op.next = c.freeOps
+	c.freeOps = op
+}
+
 // pull advances to the next trace record.
 func (c *Core) pull() {
 	rec, ok := c.tr.Next()
@@ -147,10 +192,10 @@ func (c *Core) Tick(now uint64) {
 // touch the memory port (trace drained). In that state the core only wakes
 // when the head read's completion callback fires.
 func (c *Core) blockedIdle() bool {
-	if len(c.ops) == 0 {
+	if c.opCount() == 0 {
 		return false
 	}
-	op := c.ops[0]
+	op := c.frontOp()
 	if op.instrIdx != c.retireIdx || op.write || op.done {
 		return false
 	}
@@ -170,8 +215,8 @@ func (c *Core) stalledOnPort() bool {
 		c.fetchIdx-c.retireIdx >= uint64(c.cfg.ROBSize) {
 		return false
 	}
-	if len(c.ops) > 0 {
-		op := c.ops[0]
+	if c.opCount() > 0 {
+		op := c.frontOp()
 		if op.instrIdx != c.retireIdx || op.write || op.done {
 			return false
 		}
@@ -216,12 +261,18 @@ func (c *Core) retire(now uint64) {
 	budget := uint64(c.cfg.RetireWidth)
 	progressed := false
 	for budget > 0 && c.retireIdx < c.fetchIdx {
-		if len(c.ops) > 0 && c.ops[0].instrIdx == c.retireIdx {
-			op := c.ops[0]
+		if c.opCount() > 0 && c.frontOp().instrIdx == c.retireIdx {
+			op := c.frontOp()
 			if !op.write && !op.done {
 				break // blocking read at ROB head
 			}
-			c.ops = c.ops[1:]
+			c.ops[c.opHead] = nil
+			c.opHead++
+			if c.opHead == len(c.ops) {
+				c.ops = c.ops[:0]
+				c.opHead = 0
+			}
+			c.putOp(op)
 			c.retireIdx++
 			budget--
 			progressed = true
@@ -230,8 +281,8 @@ func (c *Core) retire(now uint64) {
 		// Retire non-memory instructions up to the next memory op or the
 		// fetch frontier.
 		limit := c.fetchIdx
-		if len(c.ops) > 0 && c.ops[0].instrIdx < limit {
-			limit = c.ops[0].instrIdx
+		if c.opCount() > 0 && c.frontOp().instrIdx < limit {
+			limit = c.frontOp().instrIdx
 		}
 		n := limit - c.retireIdx
 		if n > budget {
@@ -273,17 +324,15 @@ func (c *Core) fetch(now uint64) {
 			continue
 		}
 		// Fetch the memory access itself.
-		op := &memOp{instrIdx: c.fetchIdx, write: c.nextRec.Write, addr: c.nextRec.Addr, issuedAt: now}
+		op := c.getOp()
+		op.instrIdx, op.write, op.addr = c.fetchIdx, c.nextRec.Write, c.nextRec.Addr
+		op.done, op.issuedAt = false, now
 		var onDone func(uint64)
 		if !op.write {
-			onDone = func(doneCycle uint64) {
-				op.done = true
-				if doneCycle >= op.issuedAt {
-					c.stats.ReadLatency.Observe(doneCycle - op.issuedAt)
-				}
-			}
+			onDone = op.onDoneFn
 		}
 		if !c.port.Access(op.write, op.addr, now, onDone) {
+			c.putOp(op) // rejected ports retain neither the op nor onDone
 			c.stats.FetchStalls.Inc()
 			return // back-pressure: retry next cycle
 		}
@@ -292,6 +341,14 @@ func (c *Core) fetch(now uint64) {
 			c.stats.Writes.Inc()
 		} else {
 			c.stats.Reads.Inc()
+		}
+		if c.opHead > 0 && len(c.ops) == cap(c.ops) {
+			n := copy(c.ops, c.ops[c.opHead:]) // reclaim the retired prefix
+			for i := n; i < len(c.ops); i++ {
+				c.ops[i] = nil
+			}
+			c.ops = c.ops[:n]
+			c.opHead = 0
 		}
 		c.ops = append(c.ops, op)
 		c.fetchIdx++

@@ -62,6 +62,62 @@ type OnChip struct {
 	readEnd        uint64
 	respAt         uint64
 	writeStart     uint64
+
+	// freeReq heads the ocReq free list, mirroring the SD's sdReq pool: a
+	// path touches Z*(L+1) blocks per phase, so recycling the requests
+	// keeps both phases off the allocator in steady state.
+	freeReq *ocReq
+}
+
+// ocReq is one pooled block transaction of the on-chip baseline; both
+// callback method values are bound once at allocation.
+type ocReq struct {
+	req  mc.Request
+	o    *OnChip
+	ctrl *mc.Controller
+	read bool // route completion to readDone (else writeDone)
+
+	onCompleteFn func(*mc.Request, uint64)
+	attemptFn    func(uint64)
+	next         *ocReq
+}
+
+func (o *OnChip) getReq() *ocReq {
+	r := o.freeReq
+	if r == nil {
+		r = &ocReq{o: o}
+		r.onCompleteFn = r.onComplete
+		r.attemptFn = r.attempt
+		return r
+	}
+	o.freeReq = r.next
+	r.next = nil
+	return r
+}
+
+// putReq recycles r; safe at completion for the same reasons as SD.putReq.
+func (o *OnChip) putReq(r *ocReq) {
+	r.ctrl = nil
+	r.next = o.freeReq
+	o.freeReq = r
+}
+
+// attempt enqueues the transaction, retrying while the DRAM queue is full.
+func (r *ocReq) attempt(now uint64) {
+	if !r.ctrl.Enqueue(&r.req, clock.ToMem(now)) {
+		r.o.sched.Add(now+r.o.cfg.RetryInterval, r.attemptFn)
+	}
+}
+
+func (r *ocReq) onComplete(_ *mc.Request, memDone uint64) {
+	o, read := r.o, r.read
+	t := clock.ToCPU(memDone)
+	o.putReq(r) // recycle first: readDone may start the write phase, which reuses r
+	if read {
+		o.readDone(t)
+	} else {
+		o.writeDone(t)
+	}
 }
 
 // NewOnChip builds the baseline executor over the direct-attached channel
@@ -158,27 +214,24 @@ func (o *OnChip) tryStart(now uint64) {
 	o.readsLeft = len(o.curTrace.ReadNodes) * z
 	for _, node := range o.curTrace.ReadNodes {
 		for slot := 0; slot < z; slot++ {
-			o.issue(node, slot, mc.OpRead, now, o.readDone)
+			o.issue(node, slot, mc.OpRead, true, now)
 		}
 	}
 }
 
-// issue enqueues one block transaction, striping slots across channels.
-func (o *OnChip) issue(node oram.NodeID, slot int, op mc.OpType, now uint64, done func(uint64)) {
+// issue enqueues one pooled block transaction, striping slots across
+// channels. read routes the completion to readDone; otherwise writeDone.
+func (o *OnChip) issue(node oram.NodeID, slot int, op mc.OpType, read bool, now uint64) {
 	pl := o.lay.Place(node, slot)
 	ch := pl.SubChannel % len(o.mcs)
 	coord := o.maps[ch].Map(o.cfg.OramBase + pl.Addr)
 	coord.Bus = ch
-	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1, TraceID: o.cur.TraceID,
-		OnComplete: func(_ *mc.Request, memDone uint64) { done(clock.ToCPU(memDone)) }}
-	ctrl := o.mcs[ch]
-	var attempt func(uint64)
-	attempt = func(n uint64) {
-		if !ctrl.Enqueue(req, clock.ToMem(n)) {
-			o.sched.Add(n+o.cfg.RetryInterval, attempt)
-		}
-	}
-	o.sched.Add(now, attempt)
+	r := o.getReq()
+	r.read = read
+	r.ctrl = o.mcs[ch]
+	r.req = mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1,
+		TraceID: o.cur.TraceID, OnComplete: r.onCompleteFn}
+	o.sched.Add(now, r.attemptFn)
 }
 
 func (o *OnChip) readDone(now uint64) {
@@ -203,7 +256,7 @@ func (o *OnChip) readDone(now uint64) {
 	o.writesLeft = len(o.curTrace.WriteNodes) * z
 	for _, node := range o.curTrace.WriteNodes {
 		for slot := 0; slot < z; slot++ {
-			o.issue(node, slot, mc.OpWrite, now, o.writeDone)
+			o.issue(node, slot, mc.OpWrite, false, now)
 		}
 	}
 }

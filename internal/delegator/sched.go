@@ -6,6 +6,7 @@ package delegator
 // scan is cheaper than a heap.
 type sched struct {
 	events []schedEvent
+	due    []schedEvent // scratch reused across Runs, so draining is alloc-free
 }
 
 type schedEvent struct {
@@ -20,25 +21,37 @@ func (s *sched) Add(at uint64, fn func(now uint64)) {
 
 // Run executes all events due at or before now. Events may schedule new
 // events (including for the current cycle); Run drains until no due events
-// remain.
+// remain. The due list and the surviving-events compaction both reuse the
+// scheduler's own backing arrays — this runs on every SD tick, and
+// rebuilding the slices from scratch used to dominate the simulator's
+// allocation profile.
 func (s *sched) Run(now uint64) {
 	for {
-		ran := false
-		keep := s.events[:0]
-		// Copy out due events first: fn may append to s.events.
-		var due []schedEvent
-		for _, e := range s.events {
+		due := s.due[:0]
+		s.due = nil // reentrancy guard: a nested Run allocates its own scratch
+		n := len(s.events)
+		evs := s.events
+		keep := evs[:0]
+		// Copy out due events first: fn may append to s.events. due and
+		// evs are distinct arrays, so the in-place keep compaction (which
+		// only moves elements left, past indexes already scanned) cannot
+		// clobber them.
+		for _, e := range evs {
 			if e.at <= now {
 				due = append(due, e)
 			} else {
 				keep = append(keep, e)
 			}
 		}
-		s.events = append([]schedEvent(nil), keep...)
+		for i := len(keep); i < n; i++ {
+			evs[i] = schedEvent{} // drop closure refs from the vacated tail
+		}
+		s.events = keep
 		for _, e := range due {
 			e.fn(now)
-			ran = true
 		}
+		ran := len(due) > 0
+		s.due = due
 		if !ran {
 			return
 		}

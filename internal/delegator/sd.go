@@ -108,6 +108,70 @@ type SD struct {
 	// packet (sdAccess is only built once the read phase starts).
 	bufferedSubmit  uint64
 	bufferedArrival uint64
+
+	// freeReq heads the sdReq free list. A path read issues Z*(L+1) block
+	// transactions per phase, so recycling them (and binding their callback
+	// method values once, at allocation) keeps the read/write phases off
+	// the allocator entirely in steady state.
+	freeReq *sdReq
+}
+
+// sdReq is one pooled local-channel block transaction: the controller
+// request plus the retry/completion state its callbacks need. The two
+// method values are bound at allocation and reused for the object's
+// lifetime — handing attemptFn to the scheduler or onCompleteFn to the
+// controller allocates nothing.
+type sdReq struct {
+	req  mc.Request
+	sd   *SD
+	ctx  *sdAccess
+	sub  *mc.Controller
+	read bool // route completion to readDone (else writeDone)
+
+	onCompleteFn func(*mc.Request, uint64)
+	attemptFn    func(uint64)
+	next         *sdReq
+}
+
+func (sd *SD) getReq() *sdReq {
+	r := sd.freeReq
+	if r == nil {
+		r = &sdReq{sd: sd}
+		r.onCompleteFn = r.onComplete
+		r.attemptFn = r.attempt
+		return r
+	}
+	sd.freeReq = r.next
+	r.next = nil
+	return r
+}
+
+// putReq recycles r. Safe at completion time: the controller drops its
+// reference before firing OnComplete (and a deferred completion's sink
+// entry is consumed before the replay), and a successful Enqueue leaves no
+// pending retry event, so nothing else can still reach r.
+func (sd *SD) putReq(r *sdReq) {
+	r.ctx, r.sub = nil, nil
+	r.next = sd.freeReq
+	sd.freeReq = r
+}
+
+// attempt enqueues the transaction, retrying while the DRAM queue is full.
+func (r *sdReq) attempt(now uint64) {
+	if !r.sub.Enqueue(&r.req, clock.ToMem(now)) {
+		r.sd.sched.Add(now+r.sd.cfg.RetryInterval, r.attemptFn)
+	}
+}
+
+func (r *sdReq) onComplete(_ *mc.Request, memDone uint64) {
+	sd, ctx, read := r.sd, r.ctx, r.read
+	t := clock.ToCPU(memDone)
+	sd.putReq(r) // recycle first: readDone may start the write phase, which reuses r
+	if read {
+		sd.readDone(ctx, t)
+	} else {
+		sd.writeDone(ctx, t)
+	}
 }
 
 // SetOverlapPhases toggles read/write phase overlap across consecutive
@@ -240,26 +304,23 @@ func (sd *SD) startRead(a *Access, submitAt, linkArrive, now uint64) {
 			if pl.Remote {
 				sd.remoteRead(ctx, pl, now)
 			} else {
-				sd.localIssue(pl, mc.OpRead, a.TraceID, now, func(t uint64) { sd.readDone(ctx, t) })
+				sd.localIssue(pl, mc.OpRead, ctx, true, now)
 			}
 		}
 	}
 }
 
-// localIssue enqueues one block transaction on a secure sub-channel,
-// retrying while the DRAM queue is full.
-func (sd *SD) localIssue(pl layout.Placement, op mc.OpType, traceID, now uint64, done func(uint64)) {
+// localIssue enqueues one block transaction on a secure sub-channel via a
+// pooled request, retrying while the DRAM queue is full. read routes the
+// completion to readDone; otherwise writeDone.
+func (sd *SD) localIssue(pl layout.Placement, op mc.OpType, ctx *sdAccess, read bool, now uint64) {
 	coord := sd.subMap[pl.SubChannel].Map(sd.cfg.OramBase + pl.Addr)
-	req := &mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1, TraceID: traceID,
-		OnComplete: func(_ *mc.Request, memDone uint64) { done(clock.ToCPU(memDone)) }}
-	sub := sd.secure.SubChannels()[pl.SubChannel]
-	var attempt func(uint64)
-	attempt = func(n uint64) {
-		if !sub.Enqueue(req, clock.ToMem(n)) {
-			sd.sched.Add(n+sd.cfg.RetryInterval, attempt)
-		}
-	}
-	sd.sched.Add(now, attempt)
+	r := sd.getReq()
+	r.ctx, r.read = ctx, read
+	r.sub = sd.secure.SubChannels()[pl.SubChannel]
+	r.req = mc.Request{Op: op, Coord: coord, Secure: true, AppID: -1,
+		TraceID: ctx.a.TraceID, OnComplete: r.onCompleteFn}
+	sd.sched.Add(now, r.attemptFn)
 }
 
 // remoteRead fetches one relocated block from a normal channel: a short
@@ -330,7 +391,7 @@ func (sd *SD) startWrite(ctx *sdAccess, now uint64) {
 			if pl.Remote {
 				sd.remoteWrite(ctx, pl, now)
 			} else {
-				sd.localIssue(pl, mc.OpWrite, ctx.a.TraceID, now, func(t uint64) { sd.writeDone(ctx, t) })
+				sd.localIssue(pl, mc.OpWrite, ctx, false, now)
 			}
 		}
 	}

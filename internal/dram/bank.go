@@ -47,7 +47,7 @@ func (b *Bank) canWrite(row int64, now uint64) bool {
 }
 
 // activate opens row at cycle now, updating bank-local constraints.
-func (b *Bank) activate(row int64, now uint64, t Timing) {
+func (b *Bank) activate(row int64, now uint64, t *Timing) {
 	b.openRow = row
 	b.nextRead = maxU64(b.nextRead, now+t.RCD)
 	b.nextWrite = maxU64(b.nextWrite, now+t.RCD)
@@ -56,19 +56,19 @@ func (b *Bank) activate(row int64, now uint64, t Timing) {
 }
 
 // precharge closes the open row at cycle now.
-func (b *Bank) precharge(now uint64, t Timing) {
+func (b *Bank) precharge(now uint64, t *Timing) {
 	b.openRow = RowNone
 	b.nextActivate = maxU64(b.nextActivate, now+t.RP)
 }
 
 // read issues a column read at cycle now.
-func (b *Bank) read(now uint64, t Timing) {
+func (b *Bank) read(now uint64, t *Timing) {
 	// Read to precharge: tRTP.
 	b.nextPrecharge = maxU64(b.nextPrecharge, now+t.RTP)
 }
 
 // write issues a column write at cycle now.
-func (b *Bank) write(now uint64, t Timing) {
+func (b *Bank) write(now uint64, t *Timing) {
 	// Write recovery: data end (CWL+burst) plus tWR before precharge.
 	b.nextPrecharge = maxU64(b.nextPrecharge, now+t.CWL+t.BurstCycles+t.WR)
 }

@@ -169,14 +169,14 @@ func (ch *Channel) CanIssue(cmd Command, rank, bank int, row int64, now uint64) 
 	b := &r.banks[bank]
 	switch cmd {
 	case CmdActivate:
-		return b.canActivate(now) && r.actOK(bank, now, ch.timing) && r.fawOK(now, ch.timing)
+		return b.canActivate(now) && r.actOK(bank, now, &ch.timing) && r.fawOK(now, &ch.timing)
 	case CmdPrecharge:
 		return b.canPrecharge(now)
 	case CmdRead:
-		return b.canRead(row, now) && now >= r.nextRead && r.casOK(bank, now, ch.timing) &&
+		return b.canRead(row, now) && now >= r.nextRead && r.casOK(bank, now, &ch.timing) &&
 			ch.dataBusOK(now+ch.timing.CL, rank, false)
 	case CmdWrite:
-		return b.canWrite(row, now) && now >= r.nextWrite && r.casOK(bank, now, ch.timing) &&
+		return b.canWrite(row, now) && now >= r.nextWrite && r.casOK(bank, now, &ch.timing) &&
 			ch.dataBusOK(now+ch.timing.CWL, rank, true)
 	case CmdRefresh:
 		return r.allPrecharged() && now >= r.nextRefreshDue-ch.timing.REFI/8
@@ -281,7 +281,7 @@ func (ch *Channel) Issue(cmd Command, rank, bank int, row int64, now uint64) uin
 	}
 	ch.lastCmdCycle = now
 	ch.hasIssuedCmd = true
-	t := ch.timing
+	t := &ch.timing
 	r := ch.ranks[rank]
 	b := &r.banks[bank]
 	switch cmd {

@@ -58,7 +58,7 @@ func (r *Rank) NextRefreshDue() uint64 { return r.nextRefreshDue }
 
 // fawOK reports whether a new ACT at cycle now keeps at most 4 ACTs within
 // any tFAW window.
-func (r *Rank) fawOK(now uint64, t Timing) bool {
+func (r *Rank) fawOK(now uint64, t *Timing) bool {
 	if r.actCount < len(r.actTimes) {
 		return true
 	}
@@ -74,12 +74,12 @@ func (r *Rank) recordAct(now uint64) {
 }
 
 // casOK reports whether a column command to bank satisfies CAS spacing.
-func (r *Rank) casOK(bank int, now uint64, t Timing) bool {
+func (r *Rank) casOK(bank int, now uint64, t *Timing) bool {
 	return !r.hasCAS || now >= r.lastCASTime+t.ccdFor(r.lastCASBank, bank)
 }
 
 // actOK reports whether an ACT to bank satisfies ACT-to-ACT spacing.
-func (r *Rank) actOK(bank int, now uint64, t Timing) bool {
+func (r *Rank) actOK(bank int, now uint64, t *Timing) bool {
 	return !r.hasAct || now >= r.lastActTime+t.rrdFor(r.lastActBank, bank)
 }
 
@@ -103,7 +103,7 @@ func (r *Rank) allPrecharged() bool {
 
 // startRefresh begins a REF cycle at now; the rank is unusable for tRFC and
 // all per-bank ACT constraints are pushed past it.
-func (r *Rank) startRefresh(now uint64, t Timing) {
+func (r *Rank) startRefresh(now uint64, t *Timing) {
 	r.refreshUntil = now + t.RFC
 	r.nextRefreshDue += t.REFI
 	r.pendingRefresh = false

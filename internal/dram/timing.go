@@ -111,7 +111,7 @@ func DDR42400() Timing {
 }
 
 // groupOf returns the bank group of bank (0 when groups are disabled).
-func (t Timing) groupOf(bank int) int {
+func (t *Timing) groupOf(bank int) int {
 	if t.BankGroups <= 1 {
 		return 0
 	}
@@ -120,7 +120,7 @@ func (t Timing) groupOf(bank int) int {
 
 // ccdFor returns the CAS-to-CAS spacing between a previous access to
 // prevBank and a new access to bank.
-func (t Timing) ccdFor(prevBank, bank int) uint64 {
+func (t *Timing) ccdFor(prevBank, bank int) uint64 {
 	if t.BankGroups > 1 && t.groupOf(prevBank) == t.groupOf(bank) && t.CCDL > 0 {
 		return t.CCDL
 	}
@@ -128,7 +128,7 @@ func (t Timing) ccdFor(prevBank, bank int) uint64 {
 }
 
 // rrdFor returns the ACT-to-ACT spacing analogous to ccdFor.
-func (t Timing) rrdFor(prevBank, bank int) uint64 {
+func (t *Timing) rrdFor(prevBank, bank int) uint64 {
 	if t.BankGroups > 1 && t.groupOf(prevBank) == t.groupOf(bank) && t.RRDL > 0 {
 		return t.RRDL
 	}

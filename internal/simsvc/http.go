@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"doram"
 )
@@ -52,6 +53,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeError maps a service error to its transport representation.
+// retryAfterSecs renders d as a Retry-After header value in whole seconds,
+// clamped to at least 1: a sub-second backpressure hint would round to "0",
+// which seconds-form parsers (including this repo's retryAfterFrom and
+// doramctl) treat as absent and replace with their own default.
+func retryAfterSecs(d time.Duration) string {
+	secs := int(d.Seconds() + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	var se *Error
 	if !errors.As(err, &se) {
@@ -66,7 +79,7 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case ErrQueueFull:
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.Itoa(int(se.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", retryAfterSecs(se.RetryAfter))
 	case ErrDraining:
 		code = http.StatusServiceUnavailable
 	case ErrConflict:
@@ -150,7 +163,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 			var se *Error
 			if errors.As(err, &se) && se.Kind == ErrQueueFull {
 				backpressured = true
-				retryAfter = strconv.Itoa(int(se.RetryAfter.Seconds() + 0.5))
+				retryAfter = retryAfterSecs(se.RetryAfter)
 			}
 			continue
 		}

@@ -1,0 +1,41 @@
+package simsvc
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterHeaderClamped is a regression test for the Retry-After
+// rounding bug: a sub-second RetryAfter used to render as "0", which
+// seconds-form parsers treat as absent, so clients never saw the server's
+// backpressure hint. The transport must clamp to at least 1 second
+// regardless of what the Error carries.
+func TestRetryAfterHeaderClamped(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{200 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1600 * time.Millisecond, "2"},
+		{90 * time.Second, "90"},
+		{0, "1"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSecs(tc.d); got != tc.want {
+			t.Errorf("retryAfterSecs(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	writeError(rec, &Error{Kind: ErrQueueFull, Msg: "queue full",
+		RetryAfter: 250 * time.Millisecond})
+	if rec.Code != 429 {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q for a 250ms hint, want %q", got, "1")
+	}
+}

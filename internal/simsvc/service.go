@@ -101,6 +101,10 @@ type Config struct {
 	// substitute it to make pool behaviour — blocking, panicking, slow
 	// workers — deterministic.
 	RunSim func(context.Context, doram.SimConfig) (*doram.SimResult, error)
+	// Now overrides the clock behind job-history timestamps, run-duration
+	// accounting, and the Retry-After estimate; nil means time.Now. Tests
+	// pin it to assert on transition times instead of sleeping.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +224,9 @@ type Service struct {
 	// runSim is the simulation entry point; tests substitute it to make
 	// pool behaviour (blocking, panicking) deterministic.
 	runSim func(context.Context, doram.SimConfig) (*doram.SimResult, error)
+	// now is the clock behind history timestamps and duration accounting;
+	// time.Now unless Config.Now injected one.
+	now func() time.Time
 }
 
 // New builds a service and starts its worker pool.
@@ -238,9 +245,13 @@ func New(cfg Config) *Service {
 		runStart: make(map[*Job]time.Time),
 		reg:      reg,
 		runSim:   doram.SimulateContext,
+		now:      time.Now,
 	}
 	if cfg.RunSim != nil {
 		s.runSim = cfg.RunSim
+	}
+	if cfg.Now != nil {
+		s.now = cfg.Now
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.submitted = reg.SyncCounter("simsvc.jobs.submitted")
@@ -360,7 +371,7 @@ func (s *Service) newJobLocked(spec doram.Params, hash string) *Job {
 		done: make(chan struct{}),
 	}
 	job.state = StateQueued
-	job.history = []Transition{{State: StateQueued, At: time.Now()}}
+	job.history = []Transition{{State: StateQueued, At: s.now()}}
 	s.jobs[job.id] = job
 	return job
 }
@@ -368,7 +379,7 @@ func (s *Service) newJobLocked(spec doram.Params, hash string) *Job {
 // transitionLocked records a state change; terminal states close Done.
 func (s *Service) transitionLocked(job *Job, to State) {
 	job.state = to
-	job.history = append(job.history, Transition{State: to, At: time.Now()})
+	job.history = append(job.history, Transition{State: to, At: s.now()})
 	if to.Terminal() {
 		close(job.done)
 	}
@@ -404,7 +415,7 @@ func (s *Service) retryAfterLocked() time.Duration {
 	per := s.ewmaSec
 	if per <= 0 {
 		for _, start := range s.runStart {
-			if sec := time.Since(start).Seconds(); sec > per {
+			if sec := s.now().Sub(start).Seconds(); sec > per {
 				per = sec
 			}
 		}
@@ -456,14 +467,14 @@ func (s *Service) runJob(job *Job) {
 		}
 	}
 	s.running++
-	start := time.Now()
+	start := s.now()
 	s.runStart[job] = start
 	s.mu.Unlock()
 
 	s.simRuns.Inc()
 	res, err := s.safeRun(ctx, job.spec.SimConfig())
 	cancel()
-	dur := time.Since(start)
+	dur := s.now().Sub(start)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -663,5 +664,44 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if !j.Status().CacheHit {
 		t.Errorf("recently used spec was evicted")
+	}
+}
+
+// TestInjectableClock pins Config.Now to a stepping fake clock and checks
+// every job-history timestamp comes from it — no wall-clock reads sneak
+// into transition records, so tests can assert on times without sleeping.
+func TestInjectableClock(t *testing.T) {
+	base := time.Date(2030, 1, 2, 3, 4, 5, 0, time.UTC)
+	var mu sync.Mutex
+	step := 0
+	fakeNow := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		step++
+		return base.Add(time.Duration(step) * time.Second)
+	}
+	s := New(Config{Workers: 1, Now: fakeNow,
+		RunSim: func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+			return &doram.SimResult{}, nil
+		}})
+	defer closeService(t, s)
+
+	job, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st := waitState(t, s, job.ID(), StateDone)
+	if len(st.History) < 3 {
+		t.Fatalf("history has %d transitions, want >= 3 (queued/running/done)", len(st.History))
+	}
+	for i, tr := range st.History {
+		if !tr.At.After(base) || tr.At.Location() != time.UTC {
+			t.Errorf("transition %d (%s) at %v, want a fake-clock time after %v",
+				i, tr.State, tr.At, base)
+		}
+		if i > 0 && tr.At.Before(st.History[i-1].At) {
+			t.Errorf("transition %d (%s) at %v precedes transition %d at %v",
+				i, tr.State, tr.At, i-1, st.History[i-1].At)
+		}
 	}
 }
