@@ -12,21 +12,29 @@
 //	doramctl run spec.json               submit, wait, print the result
 //	doramctl status j-00000001
 //	doramctl wait j-00000001             poll until the job is terminal
+//	doramctl wait -follow j-00000001     ... streaming transitions live (SSE)
 //	doramctl result j-00000001           print the finished job's result
 //	doramctl metrics j-00000001          print the job's metric dump
 //	doramctl cancel j-00000001
+//	doramctl tail                        stream every service event live
+//	doramctl tail j-0000001 j-0000002    ... filtered to those jobs, exiting
+//	                                     once all of them are terminal
 //	doramctl varz                        print the service metric dump
 //	doramctl nodes                       list cluster workers (coordinator)
 //
 // Job specs are the JSON documents accepted by POST /v1/jobs (the
 // canonical doram.Params encoding); see README "Serving mode". The
 // server may be a single doramd or a cluster coordinator (README
-// "Cluster mode") — the API is identical.
+// "Cluster mode") — the API is identical; against a coordinator, tail
+// shows the merged stream including per-worker events.
 //
 // Transient failures are retried with jittered exponential backoff:
 // connection errors and 502/503/504 for a handful of attempts, and 429
 // (queue full) honouring the server's Retry-After. A plain 500 means
-// the job itself failed and is not retried.
+// the job itself failed and is not retried. wait polls with the same
+// jittered backoff (100ms doubling to a 2s cap), resetting whenever the
+// job makes progress; -follow replaces polling with the server's SSE
+// event stream and falls back to polling if streaming is unavailable.
 package main
 
 import (
@@ -40,11 +48,12 @@ import (
 	"strings"
 	"time"
 
+	"doram/internal/simsvc"
 	"doram/internal/xrand"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: doramctl [-server URL] {health|varz|nodes|submit|run|sweep|status|wait|result|metrics|cancel} ...")
+	fmt.Fprintln(os.Stderr, "usage: doramctl [-server URL] {health|varz|nodes|submit|run|sweep|status|wait|result|metrics|cancel|tail} ...")
 	os.Exit(2)
 }
 
@@ -85,7 +94,17 @@ func main() {
 	case "status":
 		err = c.oneJob(args, func(id string) error { return c.printBody("GET", "/v1/jobs/"+id, nil) })
 	case "wait":
-		err = c.oneJob(args, func(id string) error { _, err := c.wait(id); return err })
+		follow := false
+		if len(args) > 0 && (args[0] == "-follow" || args[0] == "--follow") {
+			follow, args = true, args[1:]
+		}
+		if follow {
+			err = c.oneJob(args, func(id string) error { _, err := c.waitFollow(id); return err })
+		} else {
+			err = c.oneJob(args, func(id string) error { _, err := c.wait(id); return err })
+		}
+	case "tail":
+		err = c.tail(args)
 	case "result":
 		err = c.oneJob(args, func(id string) error { return c.printBody("GET", "/v1/jobs/"+id+"/result", nil) })
 	case "metrics":
@@ -389,10 +408,33 @@ func (c *client) sweep(args []string) error {
 	return nil
 }
 
+// pollBase/pollCap bound the wait-polling cadence: 100ms doubling per
+// quiet poll, capped at 2s, jittered so a fleet of waiting clients
+// spreads out instead of polling in lockstep.
+const (
+	pollBase = 100 * time.Millisecond
+	pollCap  = 2 * time.Second
+)
+
+// pollDelay is the jittered exponential wait-poll schedule for the given
+// consecutive-quiet-poll count (0-based).
+func (c *client) pollDelay(quiet int) time.Duration {
+	d := pollBase
+	for i := 0; i < quiet && d < pollCap; i++ {
+		d *= 2
+	}
+	if d > pollCap {
+		d = pollCap
+	}
+	return time.Duration(float64(d) * (0.5 + c.rng.Float64()))
+}
+
 // wait polls a job until it is terminal, printing each state change, and
-// returns the final status.
+// returns the final status. The poll interval backs off exponentially
+// (with jitter) while the state is unchanged and resets on progress.
 func (c *client) wait(id string) (jobStatus, error) {
 	last := ""
+	quiet := 0
 	for {
 		data, err := c.do("GET", "/v1/jobs/"+id, nil)
 		if err != nil {
@@ -405,10 +447,183 @@ func (c *client) wait(id string) (jobStatus, error) {
 		if st.State != last {
 			fmt.Fprintf(os.Stderr, "doramctl: %s %s\n", id, st.State)
 			last = st.State
+			quiet = 0
 		}
 		if terminal(st.State) {
 			return st, nil
 		}
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(c.pollDelay(quiet))
+		quiet++
 	}
+}
+
+// waitFollow waits for a job by consuming its SSE event stream, falling
+// back to jittered polling when streaming is unavailable (old server, a
+// proxy stripping the stream, mid-transfer disconnects).
+func (c *client) waitFollow(id string) (jobStatus, error) {
+	st, err := c.followJob(id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doramctl: event stream unavailable (%v), falling back to polling\n", err)
+		return c.wait(id)
+	}
+	return st, nil
+}
+
+// followJob consumes one job's event stream until the terminal event.
+func (c *client) followJob(id string) (jobStatus, error) {
+	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return jobStatus{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		return jobStatus{}, fmt.Errorf("server does not stream events (Content-Type %q)", resp.Header.Get("Content-Type"))
+	}
+	sc := simsvc.NewSSEScanner(resp.Body)
+	last := ""
+	for {
+		raw, err := sc.Next()
+		if err != nil {
+			return jobStatus{}, fmt.Errorf("stream ended before the job did: %w", err)
+		}
+		ev, err := raw.Decode()
+		if err != nil || ev.Kind != simsvc.EventJob {
+			continue
+		}
+		state := string(ev.State)
+		if state != last {
+			fmt.Fprintf(os.Stderr, "doramctl: %s %s\n", id, state)
+			last = state
+		}
+		if terminal(state) {
+			return jobStatus{ID: id, State: state, Error: ev.Error}, nil
+		}
+	}
+}
+
+// tail streams service events to stdout: every event when called bare,
+// or only the given jobs' transitions (exiting once all are terminal).
+func (c *client) tail(args []string) error {
+	var pending map[string]bool
+	if len(args) > 0 {
+		pending = make(map[string]bool)
+		for _, id := range args {
+			data, err := c.do("GET", "/v1/jobs/"+id, nil)
+			if err != nil {
+				return err
+			}
+			var st jobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return fmt.Errorf("decoding status: %w", err)
+			}
+			fmt.Printf("%s %s\n", st.ID, st.State)
+			if !terminal(st.State) {
+				pending[id] = true
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+	}
+
+	var cursor string
+	attempts := 0
+	for {
+		progressed, err := c.tailOnce(&cursor, pending)
+		if err == nil {
+			return nil // all followed jobs terminal
+		}
+		if progressed {
+			attempts = 0 // the cursor moved; this outage is a fresh one
+		}
+		if attempts >= maxTransientRetries {
+			return fmt.Errorf("event stream: %w", err)
+		}
+		delay := c.backoff(attempts)
+		attempts++
+		fmt.Fprintf(os.Stderr, "doramctl: stream interrupted (%v), reconnecting in %s\n", err, delay.Round(time.Millisecond))
+		time.Sleep(delay)
+	}
+}
+
+// tailOnce consumes one /events stream, resuming from cursor, rendering
+// each event, and pruning pending jobs as they reach terminal states.
+// Returns a nil error only when every followed job is terminal; a bare
+// tail (pending == nil) streams until the connection breaks. progressed
+// reports whether any event arrived, so the caller can reset its
+// reconnect budget.
+func (c *client) tailOnce(cursor *string, pending map[string]bool) (progressed bool, err error) {
+	req, err := http.NewRequest("GET", c.base+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	if *cursor != "" {
+		req.Header.Set("Last-Event-ID", *cursor)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	sc := simsvc.NewSSEScanner(resp.Body)
+	for {
+		raw, err := sc.Next()
+		if err != nil {
+			return progressed, err
+		}
+		progressed = true
+		if raw.ID != "" {
+			*cursor = raw.ID
+		}
+		ev, err := raw.Decode()
+		if err != nil {
+			continue
+		}
+		if pending != nil {
+			if ev.Kind != simsvc.EventJob || !pending[ev.JobID] {
+				continue
+			}
+		}
+		fmt.Println(renderEvent(ev))
+		if pending != nil && ev.State.Terminal() {
+			delete(pending, ev.JobID)
+			if len(pending) == 0 {
+				return true, nil
+			}
+		}
+	}
+}
+
+// renderEvent formats one bus event as a tail output line.
+func renderEvent(ev simsvc.Event) string {
+	var b strings.Builder
+	b.WriteString(ev.Time.Format(time.RFC3339))
+	if ev.Node != "" {
+		fmt.Fprintf(&b, " [%s]", ev.Node)
+	}
+	if ev.Kind == simsvc.EventService {
+		fmt.Fprintf(&b, " service %s", ev.Message)
+	} else {
+		fmt.Fprintf(&b, " %s %s", ev.JobID, ev.State)
+		switch {
+		case ev.CacheHit:
+			b.WriteString(" (cache hit)")
+		case ev.Coalesced:
+			b.WriteString(" (coalesced)")
+		}
+		if ev.Error != "" {
+			fmt.Fprintf(&b, ": %s", ev.Error)
+		}
+	}
+	fmt.Fprintf(&b, " [queue %d, running %d, completed %d]",
+		ev.QueueDepth, ev.Running, ev.Completed)
+	return b.String()
 }

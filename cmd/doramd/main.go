@@ -9,9 +9,16 @@
 //	doramd -addr :8344
 //	doramd -addr 127.0.0.1:8344 -workers 4 -queue 128 -cache 256
 //	doramd -job-timeout 2m -max-trace 500000 -drain-timeout 10s
+//	doramd -log-format json -log-level debug -debug-addr 127.0.0.1:6060
 //
 //	doramd -coordinator -addr :8443                 cluster front door
 //	doramd -addr :8444 -join http://coord:8443      worker in that cluster
+//
+// Observability (DESIGN.md §15): GET /metrics serves the Prometheus text
+// exposition, GET /events a live SSE event stream (the coordinator merges
+// every worker's stream into its own), and -debug-addr opens a separate
+// listener with net/http/pprof for on-demand profiling. Logs are
+// structured (log/slog) in text or JSON via -log-format/-log-level.
 //
 // SIGTERM or SIGINT drains gracefully: the listener stops accepting,
 // queued jobs are cancelled, and running simulations get -drain-timeout
@@ -24,9 +31,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"doram/internal/cluster"
+	"doram/internal/obslog"
 	"doram/internal/simsvc"
 )
 
@@ -47,6 +56,10 @@ func main() {
 		maxTrace     = flag.Uint64("max-trace", 2_000_000, "largest admitted per-core trace length")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM/SIGINT")
 
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof profiling (off when empty)")
+
 		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a simulation worker")
 		joinURL     = flag.String("join", "", "coordinator URL to join as a worker (e.g. http://host:8443)")
 		advertise   = flag.String("advertise", "", "base URL the coordinator reaches this worker at (default http://<addr>)")
@@ -55,8 +68,12 @@ func main() {
 		hedgeAfter  = flag.Duration("hedge-after", 30*time.Second, "coordinator: straggler delay before hedging a job to a second worker (negative disables)")
 	)
 	flag.Parse()
-	log.SetPrefix("doramd: ")
-	log.SetFlags(log.LstdFlags)
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doramd: %v\n", err)
+		os.Exit(2)
+	}
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "doramd: unexpected argument %q\n", flag.Arg(0))
@@ -70,8 +87,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	stopDebug := startDebugServer(logger, *debugAddr)
+	defer stopDebug()
+
 	if *coordinator {
-		runCoordinator(ctx, *addr, *heartbeat, *nodeTimeout, *hedgeAfter, *drainTimeout)
+		runCoordinator(ctx, logger, *addr, *heartbeat, *nodeTimeout, *hedgeAfter, *drainTimeout)
 		return
 	}
 
@@ -81,13 +101,14 @@ func main() {
 		CacheEntries: *cacheSize,
 		JobTimeout:   *jobTimeout,
 		MaxTraceLen:  *maxTrace,
+		Logger:       logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		fatal(logger, "listen", err)
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: obslog.HTTPMiddleware(logger, svc.Handler())}
 
 	effWorkers := *workers
 	if effWorkers <= 0 {
@@ -95,86 +116,146 @@ func main() {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	log.Printf("serving on http://%s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), effWorkers, *queueDepth, *cacheSize)
+	logger.Info("serving",
+		slog.String("addr", "http://"+ln.Addr().String()),
+		slog.Int("workers", effWorkers),
+		slog.Int("queue", *queueDepth),
+		slog.Int("cache", *cacheSize))
 
 	if *joinURL != "" {
 		adv := *advertise
 		if adv == "" {
 			adv = "http://" + ln.Addr().String()
 		}
-		go cluster.Join(ctx, cluster.JoinConfig{Coordinator: *joinURL, Advertise: adv})
+		go cluster.Join(ctx, cluster.JoinConfig{
+			Coordinator: *joinURL, Advertise: adv, Logger: logger})
 	}
 
 	select {
 	case err := <-serveErr:
-		log.Fatalf("serve: %v", err)
+		fatal(logger, "serve", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received, draining (up to %s)", *drainTimeout)
+	logger.Info("signal received, draining", slog.Duration("timeout", *drainTimeout))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", slog.String("error", err.Error()))
 	}
 	closeErr := svc.Close(drainCtx)
-	logDrainSummary(svc)
+	logDrainSummary(logger, svc)
 	if closeErr != nil {
 		if errors.Is(closeErr, context.DeadlineExceeded) {
-			log.Printf("drain deadline passed; running jobs aborted")
+			logger.Error("drain deadline passed; running jobs aborted")
 		} else {
-			log.Printf("drain: %v", closeErr)
+			logger.Error("drain", slog.String("error", closeErr.Error()))
 		}
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// buildLogger parses the log flags into a structured stderr logger.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	f, err := obslog.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := obslog.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obslog.New(os.Stderr, f, lv), nil
+}
+
+func fatal(logger *slog.Logger, what string, err error) {
+	logger.Error(what, slog.String("error", err.Error()))
+	os.Exit(1)
+}
+
+// startDebugServer opens the pprof listener when addr is set. The debug
+// surface stays off the service port: profiling is opt-in, on an address
+// the operator can keep loopback-only.
+func startDebugServer(logger *slog.Logger, addr string) func() {
+	if addr == "" {
+		return func() {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(logger, "debug listen", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	logger.Info("profiling enabled",
+		slog.String("addr", "http://"+ln.Addr().String()+"/debug/pprof/"))
+	return func() { srv.Close() }
 }
 
 // logDrainSummary emits the one-line service lifetime summary on exit.
-func logDrainSummary(svc *simsvc.Service) {
+func logDrainSummary(logger *slog.Logger, svc *simsvc.Service) {
 	cv := svc.Registry().CounterValues()
 	hits, misses := cv["simsvc.cache.hits"], cv["simsvc.cache.misses"]
 	ratio := 0.0
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
 	}
-	log.Printf("drain summary: completed=%d cancelled=%d failed=%d cache hits=%d misses=%d (hit ratio %.1f%%)",
-		cv["simsvc.jobs.completed"], cv["simsvc.jobs.cancelled"], cv["simsvc.jobs.failed"],
-		hits, misses, 100*ratio)
+	logger.Info("drain summary",
+		slog.Uint64("completed", cv["simsvc.jobs.completed"]),
+		slog.Uint64("cancelled", cv["simsvc.jobs.cancelled"]),
+		slog.Uint64("failed", cv["simsvc.jobs.failed"]),
+		slog.Uint64("cache_hits", hits),
+		slog.Uint64("cache_misses", misses),
+		slog.String("hit_ratio", fmt.Sprintf("%.1f%%", 100*ratio)))
 }
 
 // runCoordinator serves the cluster front door until the context ends.
-func runCoordinator(ctx context.Context, addr string, heartbeat, nodeTimeout, hedgeAfter, drainTimeout time.Duration) {
+func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heartbeat, nodeTimeout, hedgeAfter, drainTimeout time.Duration) {
 	c := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		HeartbeatInterval: heartbeat,
 		NodeTimeout:       nodeTimeout,
 		HedgeAfter:        hedgeAfter,
+		Logger:            logger,
+		EventFanIn:        true, // merge every worker's /events into ours
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		fatal(logger, "listen", err)
 	}
-	srv := &http.Server{Handler: c.Handler()}
+	srv := &http.Server{Handler: obslog.HTTPMiddleware(logger, c.Handler())}
 	go c.Run(ctx)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	log.Printf("coordinating on http://%s (heartbeat=%s hedge-after=%s)", ln.Addr(), heartbeat, hedgeAfter)
+	logger.Info("coordinating",
+		slog.String("addr", "http://"+ln.Addr().String()),
+		slog.Duration("heartbeat", heartbeat),
+		slog.Duration("hedge_after", hedgeAfter))
 
 	select {
 	case err := <-serveErr:
-		log.Fatalf("serve: %v", err)
+		fatal(logger, "serve", err)
 	case <-ctx.Done():
 	}
-	log.Printf("signal received, shutting down")
+	logger.Info("signal received, shutting down")
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", slog.String("error", err.Error()))
 	}
+	c.Shutdown() // stop fan-in tailers, close the merged event bus
 	cv := c.Registry().CounterValues()
-	log.Printf("cluster summary: completed=%d failed=%d cancelled=%d redispatched=%d hedged=%d nodes(alive=%d dead=%d)",
-		cv["cluster.jobs.completed"], cv["cluster.jobs.failed"], cv["cluster.jobs.cancelled"],
-		cv["cluster.jobs.redispatched"], cv["cluster.jobs.hedged"],
-		cv["cluster.nodes.alive"], cv["cluster.nodes.dead"])
+	logger.Info("cluster summary",
+		slog.Uint64("completed", cv["cluster.jobs.completed"]),
+		slog.Uint64("failed", cv["cluster.jobs.failed"]),
+		slog.Uint64("cancelled", cv["cluster.jobs.cancelled"]),
+		slog.Uint64("redispatched", cv["cluster.jobs.redispatched"]),
+		slog.Uint64("hedged", cv["cluster.jobs.hedged"]),
+		slog.Uint64("nodes_alive", cv["cluster.nodes.alive"]),
+		slog.Uint64("nodes_dead", cv["cluster.nodes.dead"]))
 }

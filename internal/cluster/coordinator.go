@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"doram"
 	"doram/internal/metrics"
+	"doram/internal/obslog"
 	"doram/internal/simsvc"
+	"doram/internal/stats"
 	"doram/internal/xrand"
 )
 
@@ -66,9 +69,27 @@ type CoordinatorConfig struct {
 	// Registry receives the coordinator's counters; nil builds a private
 	// one.
 	Registry *metrics.Registry
-	// Logf receives one-line membership and failover events; nil means
-	// log.Printf.
+	// Logf receives one-line membership and failover events; nil means a
+	// shim over Logger when that is set, else log.Printf.
 	Logf func(format string, args ...any)
+	// Logger receives structured serving-plane logs; nil discards them
+	// (Logf still carries the one-liners).
+	Logger *slog.Logger
+
+	// EventFanIn opens a standing /events stream to every live worker and
+	// republishes its events (stamped with the worker id) on the
+	// coordinator's merged bus. Off by default: the standing requests are
+	// visible to injected transports, so deterministic tests must opt in.
+	EventFanIn bool
+	// EventHistory is the merged bus's replay-ring size; 0 means
+	// simsvc.DefaultEventHistory.
+	EventHistory int
+	// SSEHeartbeat is the comment-line cadence on served event streams;
+	// 0 means simsvc.DefaultSSEHeartbeat.
+	SSEHeartbeat time.Duration
+	// After overrides the SSE heartbeat timer source (test hook); nil
+	// means time.After.
+	After func(time.Duration) <-chan time.Time
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -100,7 +121,11 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 		c.RingReplicas = 64
 	}
 	if c.Logf == nil {
-		c.Logf = log.Printf
+		if c.Logger != nil {
+			c.Logf = obslog.Logf(c.Logger)
+		} else {
+			c.Logf = log.Printf
+		}
 	}
 	return c
 }
@@ -184,12 +209,20 @@ type Coordinator struct {
 	hc  *http.Client
 	now func() time.Time // test hook; time.Now in production
 
-	mu    sync.Mutex
-	nodes map[string]*node
-	ring  *ring
-	jobs  map[string]*cjob
-	seq   uint64
-	rng   *xrand.Rand // backoff jitter; guarded by mu
+	mu      sync.Mutex
+	nodes   map[string]*node
+	ring    *ring
+	jobs    map[string]*cjob
+	seq     uint64
+	rng     *xrand.Rand        // backoff jitter; guarded by mu
+	tailers map[string]*tailer // fan-in streams, one per live worker
+
+	logger *slog.Logger
+	bus    *simsvc.EventBus
+	// stageHists and jobDur aggregate across finished jobs; guarded by mu
+	// and merged into the registry dump at scrape time.
+	stageHists map[string]*stats.Histogram
+	jobDur     *stats.Histogram
 
 	reg *metrics.Registry
 	// Counters; all concurrency-safe.
@@ -207,14 +240,22 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		reg = metrics.New()
 	}
 	c := &Coordinator{
-		cfg:   cfg,
-		hc:    &http.Client{Transport: cfg.Transport},
-		now:   time.Now,
-		nodes: make(map[string]*node),
-		ring:  newRing(cfg.RingReplicas),
-		jobs:  make(map[string]*cjob),
-		rng:   xrand.New(max(cfg.Seed, 1)),
-		reg:   reg,
+		cfg:        cfg,
+		hc:         &http.Client{Transport: cfg.Transport},
+		now:        time.Now,
+		nodes:      make(map[string]*node),
+		ring:       newRing(cfg.RingReplicas),
+		jobs:       make(map[string]*cjob),
+		rng:        xrand.New(max(cfg.Seed, 1)),
+		tailers:    make(map[string]*tailer),
+		logger:     obslog.Discard(),
+		bus:        simsvc.NewEventBus(cfg.EventHistory),
+		stageHists: make(map[string]*stats.Histogram),
+		jobDur:     stats.NewHistogram(jobDurationBoundsMs),
+		reg:        reg,
+	}
+	if cfg.Logger != nil {
+		c.logger = cfg.Logger
 	}
 	c.submitted = reg.SyncCounter("cluster.jobs.submitted")
 	c.completed = reg.SyncCounter("cluster.jobs.completed")
@@ -244,6 +285,22 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 
 // Registry returns the coordinator's metric registry.
 func (c *Coordinator) Registry() *metrics.Registry { return c.reg }
+
+// dump snapshots the registry plus the cross-job histograms (job
+// durations, per-stage latency means) that live outside it.
+func (c *Coordinator) dump() *metrics.Dump {
+	d := c.reg.Dump() // before c.mu: CounterFunc callbacks take the lock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d.Histograms == nil {
+		d.Histograms = make(map[string]metrics.HistogramDump, len(c.stageHists)+1)
+	}
+	d.Histograms["cluster.job.duration_ms"] = metrics.NewHistogramDump(c.jobDur)
+	for name, h := range c.stageHists {
+		d.Histograms[name] = metrics.NewHistogramDump(h)
+	}
+	return d
+}
 
 // Run drives the control loop — dispatch, status polling, heartbeat
 // expiry, failover, hedging — until ctx ends.
@@ -299,6 +356,7 @@ func (c *Coordinator) join(id string, now time.Time) time.Duration {
 		c.nodes[id] = n
 		c.ring.add(id)
 		c.nodeJoins.Inc()
+		c.startTailerLocked(id)
 		c.cfg.Logf("cluster: worker %s joined (%d alive)", id, c.ring.size())
 	}
 	n.lastBeat = now
@@ -345,6 +403,7 @@ func (c *Coordinator) markDeadLocked(n *node, now time.Time, why string) {
 	n.alive = false
 	c.ring.remove(n.id)
 	c.nodeDeaths.Inc()
+	c.stopTailerLocked(n.id)
 	c.cfg.Logf("cluster: worker %s dead (%s), %d alive", n.id, why, c.ring.size())
 	for _, j := range c.jobs {
 		if j.state.Terminal() {
@@ -385,6 +444,7 @@ func (c *Coordinator) transitionLocked(j *cjob, to simsvc.State) {
 	if to.Terminal() {
 		close(j.done)
 	}
+	c.publishJobLocked(j, to)
 }
 
 // finalizeLocked moves a job to a terminal state and (asynchronously,
@@ -395,7 +455,9 @@ func (c *Coordinator) finalizeLocked(j *cjob, to simsvc.State, result []byte, er
 	}
 	j.result = result
 	j.errMsg = errMsg
-	c.transitionLocked(j, to)
+	// Counters first so the published transition event's Completed gauge
+	// already includes this job (tail clients see consistent sweep
+	// progress), and the duration histogram covers queue-to-terminal.
 	switch to {
 	case simsvc.StateDone:
 		c.completed.Inc()
@@ -404,6 +466,8 @@ func (c *Coordinator) finalizeLocked(j *cjob, to simsvc.State, result []byte, er
 	case simsvc.StateCancelled:
 		c.cancelled.Inc()
 	}
+	c.jobDur.Observe(uint64(c.now().Sub(j.createdAt).Milliseconds()))
+	c.transitionLocked(j, to)
 	for _, att := range []*attempt{j.primary, j.hedge} {
 		if att != nil && att != keep {
 			go c.cancelRemote(att.node, att.remoteID)
@@ -461,6 +525,7 @@ func (c *Coordinator) Submit(raw []byte) (JobStatus, error) {
 	j.history = []simsvc.Transition{{State: simsvc.StateQueued, At: now}}
 	c.jobs[j.id] = j
 	c.submitted.Inc()
+	c.publishJobLocked(j, simsvc.StateQueued)
 	c.mu.Unlock()
 
 	c.dispatchJob(j, now, false)
@@ -808,7 +873,8 @@ func (c *Coordinator) fetchResult(j *cjob, att *attempt) {
 		return // worker died between status and result; failover re-runs it
 	}
 	c.mu.Lock()
-	if !j.state.Terminal() {
+	won := !j.state.Terminal()
+	if won {
 		if att == j.hedge {
 			c.hedgeWins.Inc()
 		}
@@ -816,6 +882,9 @@ func (c *Coordinator) fetchResult(j *cjob, att *attempt) {
 		c.finalizeLocked(j, simsvc.StateDone, data, "", att)
 	}
 	c.mu.Unlock()
+	if won {
+		c.foldStageHists(data)
+	}
 }
 
 // hedgeStragglers sends a second, racing dispatch for jobs one worker has

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"doram"
+	"doram/internal/simsvc"
+	"doram/internal/stats"
+)
+
+// The coordinator reuses simsvc's event bus and SSE machinery: its own
+// job transitions publish with the cluster job id, and (opt-in) fan-in
+// tailers subscribe to every live worker's /events stream and republish
+// each event stamped with the worker's id. One merged stream then shows
+// both the cluster-level lifecycle and the per-worker detail behind it.
+
+// Events returns the coordinator's event bus.
+func (c *Coordinator) Events() *simsvc.EventBus { return c.bus }
+
+// publishJobLocked emits one cluster-level job event with the scheduler
+// gauges at this instant. Caller holds c.mu.
+func (c *Coordinator) publishJobLocked(j *cjob, st simsvc.State) {
+	queued, running := 0, 0
+	for _, jj := range c.jobs {
+		switch jj.state {
+		case simsvc.StateQueued:
+			queued++
+		case simsvc.StateRunning:
+			running++
+		}
+	}
+	c.bus.Publish(simsvc.Event{
+		Time:       c.now(),
+		Kind:       simsvc.EventJob,
+		JobID:      j.id,
+		State:      st,
+		Error:      j.errMsg,
+		QueueDepth: queued,
+		Running:    running,
+		Completed:  c.completed.Value(),
+	})
+	c.logger.Debug("job state",
+		slog.String("job_id", j.id), slog.String("state", string(st)))
+}
+
+// ---- worker stream fan-in ----
+
+// tailer is one worker's fan-in subscription.
+type tailer struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// tailerReconnect is the delay between fan-in reconnect attempts; the
+// Last-Event-ID cursor plus the worker's replay ring make the gap
+// lossless as long as the outage stays under the ring size.
+const tailerReconnect = time.Second
+
+// startTailerLocked begins fanning in a worker's event stream. No-op
+// unless CoordinatorConfig.EventFanIn is set — fan-in keeps a standing
+// request per worker, which deterministic tests (and their transport
+// request counts) must not see unless they asked for it.
+func (c *Coordinator) startTailerLocked(nodeID string) {
+	if !c.cfg.EventFanIn {
+		return
+	}
+	if _, ok := c.tailers[nodeID]; ok {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tl := &tailer{cancel: cancel, done: make(chan struct{})}
+	c.tailers[nodeID] = tl
+	go c.tailWorker(ctx, nodeID, tl)
+}
+
+// stopTailerLocked ends a worker's fan-in (node death or leave).
+func (c *Coordinator) stopTailerLocked(nodeID string) {
+	if tl, ok := c.tailers[nodeID]; ok {
+		delete(c.tailers, nodeID)
+		tl.cancel()
+	}
+}
+
+// Shutdown stops every fan-in tailer and closes the merged event bus,
+// ending all subscribed SSE streams. The control loop is stopped
+// separately by cancelling Run's context.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	tls := make([]*tailer, 0, len(c.tailers))
+	for id, tl := range c.tailers {
+		tls = append(tls, tl)
+		delete(c.tailers, id)
+		tl.cancel()
+	}
+	c.mu.Unlock()
+	for _, tl := range tls {
+		<-tl.done
+	}
+	c.bus.Close()
+}
+
+// tailWorker keeps one worker's /events stream open until cancelled,
+// reconnecting with the last seen cursor so events survive brief outages.
+// It deliberately bypasses doNode: a standing stream must not feed the
+// dispatch circuit breaker or count as proxy traffic.
+func (c *Coordinator) tailWorker(ctx context.Context, nodeID string, tl *tailer) {
+	defer close(tl.done)
+	var cursor uint64
+	for ctx.Err() == nil {
+		if err := c.tailOnce(ctx, nodeID, &cursor); err != nil && ctx.Err() == nil {
+			c.logger.Debug("fan-in stream ended",
+				slog.String("node", nodeID), slog.String("error", err.Error()))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(tailerReconnect):
+		}
+	}
+}
+
+// tailOnce runs one streaming request, republishing every decoded event
+// with the worker's identity until the stream breaks.
+func (c *Coordinator) tailOnce(ctx context.Context, nodeID string, cursor *uint64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, nodeID+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if *cursor > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*cursor, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: worker %s /events: HTTP %d", nodeID, resp.StatusCode)
+	}
+	sc := simsvc.NewSSEScanner(resp.Body)
+	for {
+		raw, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if seq, perr := strconv.ParseUint(raw.ID, 10, 64); perr == nil {
+			*cursor = seq
+		}
+		ev, err := raw.Decode()
+		if err != nil {
+			continue // malformed payload; the cursor still advanced
+		}
+		// Republish under this bus's sequence space. The gauges stay
+		// worker-local — they describe the originating node's load.
+		ev.Node = nodeID
+		c.bus.Publish(ev)
+	}
+}
+
+// ---- cross-job stage histograms ----
+
+// stageMeanBounds are power-of-two cycle buckets for the per-stage mean
+// histograms, mirroring evtrace's breakdown range (1 cycle to ~134M).
+var stageMeanBounds = func() []uint64 {
+	b := make([]uint64, 28)
+	for i := range b {
+		b[i] = 1 << uint(i)
+	}
+	return b
+}()
+
+// jobDurationBoundsMs are power-of-two wall-millisecond buckets for the
+// cluster-level job duration histogram, 1 ms to ~17 min before overflow.
+var jobDurationBoundsMs = func() []uint64 {
+	b := make([]uint64, 20)
+	for i := range b {
+		b[i] = 1 << uint(i)
+	}
+	return b
+}()
+
+// foldStageHists extracts the latency-attribution report from a finished
+// job's cached result bytes and folds each stage's mean into the
+// coordinator's cross-job histograms. Workers ship full per-access
+// histograms only in-process (Trace is excluded from JSON), so the
+// coordinator aggregates at one-sample-per-job granularity: the
+// distribution of per-job stage means across the sweep — exactly the
+// cross-run comparison a sweep dashboard wants.
+func (c *Coordinator) foldStageHists(data []byte) {
+	var thin struct {
+		LatencyBreakdown *doram.TraceReport
+	}
+	if json.Unmarshal(data, &thin) != nil || thin.LatencyBreakdown == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, kb := range thin.LatencyBreakdown.Kinds {
+		c.observeStageLocked(kb.Kind, "total", kb.Total.Mean)
+		for _, st := range kb.Stages {
+			c.observeStageLocked(kb.Kind, st.Stage, st.Mean)
+		}
+	}
+}
+
+func (c *Coordinator) observeStageLocked(kind, stage string, mean float64) {
+	name := "cluster.stage." + kind + "." + stage + ".mean_cycles"
+	h := c.stageHists[name]
+	if h == nil {
+		h = stats.NewHistogram(stageMeanBounds)
+		c.stageHists[name] = h
+	}
+	h.Observe(uint64(mean + 0.5))
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"doram"
+	"doram/internal/metrics"
 	"doram/internal/simsvc"
 )
 
@@ -27,6 +28,9 @@ import (
 //	POST /v1/jobs/{id}/cancel    request cancellation       → JobStatus
 //	GET  /healthz                liveness + alive-node count
 //	GET  /varz                   cluster-wide merged metrics
+//	GET  /metrics                Prometheus text exposition (coordinator)
+//	GET  /events                 merged SSE event stream
+//	GET  /v1/jobs/{id}/events    SSE stream filtered to one cluster job
 //	POST /v1/cluster/join        worker registration        → JoinResponse
 //	POST /v1/cluster/heartbeat   worker liveness refresh (404 → re-join)
 //	POST /v1/cluster/leave       graceful worker departure
@@ -41,6 +45,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", c.handleCancel)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /varz", c.handleVarz)
+	mux.HandleFunc("GET /metrics", c.handlePrometheus)
+	mux.HandleFunc("GET /events", c.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
 	mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/cluster/leave", c.handleLeave)
@@ -245,12 +252,18 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // varzDoc is the cluster-wide metrics document: the coordinator's own
 // counters, each reachable worker's counters keyed by node id, the
-// unreachable workers, and an element-wise sum of the worker counters.
+// unreachable workers (with what went wrong per node), and an
+// element-wise sum of the worker counters.
 type varzDoc struct {
 	Cluster     map[string]uint64            `json:"cluster"`
 	Workers     map[string]map[string]uint64 `json:"workers"`
 	Unreachable []string                     `json:"unreachable,omitempty"`
-	Merged      map[string]uint64            `json:"merged"`
+	// Errors records why each unreachable node's fetch failed, keyed by
+	// node id — transport error, HTTP status, or decode failure. Without
+	// it an operator staring at a half-merged dump had to grep worker
+	// logs to learn which failure mode they were in.
+	Errors map[string]string `json:"errors,omitempty"`
+	Merged map[string]uint64 `json:"merged"`
 }
 
 func (c *Coordinator) handleVarz(w http.ResponseWriter, r *http.Request) {
@@ -268,17 +281,28 @@ func (c *Coordinator) handleVarz(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 	sort.Strings(alive)
+	fail := func(id, why string) {
+		doc.Unreachable = append(doc.Unreachable, id)
+		if doc.Errors == nil {
+			doc.Errors = make(map[string]string)
+		}
+		doc.Errors[id] = why
+	}
 	for _, id := range alive {
 		code, data, _, err := c.doNode(id, http.MethodGet, "/varz", nil)
-		if err != nil || code != http.StatusOK {
-			doc.Unreachable = append(doc.Unreachable, id)
+		switch {
+		case err != nil:
+			fail(id, err.Error())
+			continue
+		case code != http.StatusOK:
+			fail(id, fmt.Sprintf("HTTP %d: %s", code, serverErrMsg(code, data)))
 			continue
 		}
 		var dump struct {
 			Counters map[string]uint64 `json:"counters"`
 		}
 		if err := json.Unmarshal(data, &dump); err != nil {
-			doc.Unreachable = append(doc.Unreachable, id)
+			fail(id, fmt.Sprintf("decoding varz: %v", err))
 			continue
 		}
 		doc.Workers[id] = dump.Counters
@@ -287,6 +311,50 @@ func (c *Coordinator) handleVarz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+func (c *Coordinator) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	c.dump().WritePrometheus(w) // a write error means the scraper hung up
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	simsvc.ServeEventStream(w, r, c.bus, simsvc.StreamOptions{
+		Heartbeat: c.cfg.SSEHeartbeat,
+		After:     c.cfg.After,
+	})
+}
+
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := c.Status(id); err != nil {
+		writeError(w, err) // 404 before committing to a stream
+		return
+	}
+	simsvc.ServeEventStream(w, r, c.bus, simsvc.StreamOptions{
+		JobID:     id,
+		Heartbeat: c.cfg.SSEHeartbeat,
+		After:     c.cfg.After,
+		Terminal:  c.terminalEvent,
+	})
+}
+
+// terminalEvent synthesizes the closing stream event for a cluster job
+// that finished before the subscriber arrived (its real transition may
+// have been evicted from the replay ring).
+func (c *Coordinator) terminalEvent(jobID string) (simsvc.Event, bool) {
+	st, err := c.Status(jobID)
+	if err != nil || !st.State.Terminal() {
+		return simsvc.Event{}, false
+	}
+	return simsvc.Event{
+		Time:      c.now(),
+		Kind:      simsvc.EventJob,
+		JobID:     jobID,
+		State:     st.State,
+		Error:     st.Error,
+		Completed: c.completed.Value(),
+	}, true
 }
 
 // ---- membership protocol ----

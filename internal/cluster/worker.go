@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"time"
 
+	"doram/internal/obslog"
 	"doram/internal/xrand"
 )
 
@@ -28,8 +30,12 @@ type JoinConfig struct {
 	// Transport overrides the HTTP transport (test injection); nil means
 	// the default.
 	Transport http.RoundTripper
-	// Logf receives one-line membership events; nil means log.Printf.
+	// Logf receives one-line membership events; nil means a shim over
+	// Logger when that is set, else log.Printf.
 	Logf func(format string, args ...any)
+	// Logger is the structured equivalent: when set and Logf is nil, the
+	// membership one-liners route through it.
+	Logger *slog.Logger
 	// Seed pins the backoff-jitter PRNG for reproducible retry schedules
 	// in tests; 0 derives one from the advertise URL and the wall clock
 	// so a restarting fleet of workers spreads out.
@@ -51,7 +57,11 @@ func Join(ctx context.Context, cfg JoinConfig) error {
 		cfg.RequestTimeout = 5 * time.Second
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		if cfg.Logger != nil {
+			cfg.Logf = obslog.Logf(cfg.Logger)
+		} else {
+			cfg.Logf = log.Printf
+		}
 	}
 	hc := &http.Client{Transport: cfg.Transport}
 	seed := cfg.Seed

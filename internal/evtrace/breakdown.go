@@ -151,4 +151,21 @@ func (t *Tracer) report() Report {
 	return r
 }
 
+// stageHists hands the accumulated per-stage histograms to the finished
+// trace. The tracer is done once Finish runs, so the histograms transfer
+// by reference rather than copy.
+func (t *Tracer) stageHists() map[string]*stats.Histogram {
+	if len(t.kinds) == 0 {
+		return nil
+	}
+	out := make(map[string]*stats.Histogram)
+	for kind, ks := range t.kinds {
+		out[kind+"/total"] = ks.total
+		for stage, h := range ks.stages {
+			out[kind+"/"+stage] = h
+		}
+	}
+	return out
+}
+
 func errorf(format string, args ...any) error { return fmt.Errorf("evtrace: "+format, args...) }

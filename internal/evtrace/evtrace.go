@@ -12,7 +12,11 @@
 // workload traces.
 package evtrace
 
-import "sort"
+import (
+	"sort"
+
+	"doram/internal/stats"
+)
 
 // DefaultLimit bounds retained events when Config.Limit is unset. At ~64
 // bytes per event this caps tracer memory near 12 MB.
@@ -286,6 +290,12 @@ type Trace struct {
 	Violations uint64  // invariant breaches observed while recording
 	Report     Report  // per-stage latency attribution
 	Top        []TopAccess
+	// StageHists are the full per-stage latency histograms behind Report,
+	// keyed "<kind>/<stage>" plus "<kind>/total" — the bucket-accurate
+	// form a serving process merges across jobs (Report keeps only
+	// summaries). Excluded from JSON like Events; the breakdown bounds
+	// are identical for every histogram, so cross-run merges are exact.
+	StageHists map[string]*stats.Histogram `json:"-"`
 }
 
 // Finish snapshots the tracer into an immutable Trace. Safe on nil (returns
@@ -317,6 +327,7 @@ func (t *Tracer) Finish() *Trace {
 		Violations: t.violations,
 		Report:     t.report(),
 		Top:        top,
+		StageHists: t.stageHists(),
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"doram/internal/stats"
 )
 
 // HistogramDump is one histogram's exportable form: per-bucket counts with
@@ -38,17 +40,24 @@ func (r *Registry) Dump() *Dump {
 	if len(r.hists) > 0 {
 		d.Histograms = make(map[string]HistogramDump, len(r.hists))
 		for _, h := range r.hists {
-			sh := h.h
-			hd := HistogramDump{Bounds: sh.Bounds()}
-			for i := 0; i < sh.NumBuckets(); i++ {
-				hd.Counts = append(hd.Counts, sh.Bucket(i))
-			}
-			lat := sh.Latency()
-			hd.Count, hd.Mean, hd.Min, hd.Max = lat.Count(), lat.Mean(), lat.Min(), lat.Max()
-			d.Histograms[h.name] = hd
+			d.Histograms[h.name] = NewHistogramDump(h.h)
 		}
 	}
 	return d
+}
+
+// NewHistogramDump snapshots a stats histogram into its exportable form —
+// the bridge for histograms accumulated outside a Registry (the serving
+// stack's cross-job stage-latency aggregation).
+func NewHistogramDump(sh *stats.Histogram) HistogramDump {
+	hd := HistogramDump{Bounds: sh.Bounds()}
+	hd.Counts = make([]uint64, sh.NumBuckets())
+	for i := range hd.Counts {
+		hd.Counts[i] = sh.Bucket(i)
+	}
+	lat := sh.Latency()
+	hd.Count, hd.Mean, hd.Min, hd.Max = lat.Count(), lat.Mean(), lat.Min(), lat.Max()
+	return hd
 }
 
 // WriteJSON serializes the dump as indented JSON.

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type for the text exposition format
+// this package writes.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeMetricName maps a registry name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (the registry's namespace
+// separator) and any other invalid runes become underscores; a leading
+// digit gets an underscore prefix. Distinct registry names that collide
+// after sanitization ("a.b" vs "a_b") would emit duplicate series — the
+// registries in this repo use dotted lower-case names, which sanitize
+// injectively.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line payload (backslash and newline only; the
+// format leaves quotes alone in help text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus writes the dump in the Prometheus text exposition format
+// (version 0.0.4): every scalar counter as a gauge series and every
+// histogram as a classic histogram with cumulative le-labelled buckets.
+// Scalars are typed gauge rather than counter because the registry's
+// CounterFunc bridge also carries instantaneous levels (queue depth,
+// cache entries) that may decrease; gauges scrape correctly either way.
+// The sampled timeline is not exposed — it is a per-run record, not a
+// scrape target. Output is deterministic: series sort by original name.
+// Safe on a nil dump (writes nothing).
+func (d *Dump) WritePrometheus(w io.Writer) error {
+	if d == nil {
+		return nil
+	}
+	names := make([]string, 0, len(d.Counters))
+	for name := range d.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		san := SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s doram registry counter %s\n# TYPE %s gauge\n%s %d\n",
+			san, escapeHelp(name), san, san, d.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	hnames := make([]string, 0, len(d.Histograms))
+	for name := range d.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		if err := writePrometheusHistogram(w, name, d.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePrometheusHistogram(w io.Writer, name string, h HistogramDump) error {
+	san := SanitizeMetricName(name)
+	if _, err := fmt.Fprintf(w, "# HELP %s doram registry histogram %s\n# TYPE %s histogram\n",
+		san, escapeHelp(name), san); err != nil {
+		return err
+	}
+	// Counts are per-bucket with one trailing overflow bucket; the
+	// exposition format wants cumulative counts with the last (+Inf)
+	// bucket equal to the total sample count.
+	var cum uint64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			san, escapeLabelValue(strconv.FormatUint(bound, 10)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", san, h.Count); err != nil {
+		return err
+	}
+	// The dump keeps mean rather than sum; reconstruct (exact when the
+	// mean was computed from integer cycles, within float64 rounding).
+	sum := h.Mean * float64(h.Count)
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		san, strconv.FormatFloat(sum, 'g', -1, 64), san, h.Count); err != nil {
+		return err
+	}
+	return nil
+}

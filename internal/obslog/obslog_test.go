@@ -1,0 +1,104 @@
+package obslog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Errorf("ParseLevel accepted an unknown level")
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Errorf("ParseFormat accepted an unknown format")
+	}
+}
+
+// TestContextIDs checks WithRequest/WithJob IDs surface as attributes on
+// both handler encodings.
+func TestContextIDs(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, FormatJSON, slog.LevelInfo)
+	ctx := WithJob(WithRequest(context.Background(), "r-1"), "j-7")
+	l.InfoContext(ctx, "hello", slog.Int("n", 3))
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["request_id"] != "r-1" || rec["job_id"] != "j-7" {
+		t.Errorf("record %v missing context IDs", rec)
+	}
+
+	buf.Reset()
+	lt := New(&buf, FormatText, slog.LevelInfo)
+	lt.InfoContext(ctx, "hello")
+	if !strings.Contains(buf.String(), "request_id=r-1") || !strings.Contains(buf.String(), "job_id=j-7") {
+		t.Errorf("text record %q missing context IDs", buf.String())
+	}
+}
+
+// TestLevelFilter checks debug records are dropped at info level.
+func TestLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, FormatText, slog.LevelInfo)
+	l.Debug("invisible")
+	if buf.Len() != 0 {
+		t.Errorf("debug record leaked through info level: %q", buf.String())
+	}
+	l.Warn("visible")
+	if buf.Len() == 0 {
+		t.Errorf("warn record dropped at info level")
+	}
+}
+
+// TestLogfShim checks the legacy shim renders printf-style into a record,
+// and that the nil shim is callable.
+func TestLogfShim(t *testing.T) {
+	var buf bytes.Buffer
+	logf := Logf(New(&buf, FormatText, slog.LevelInfo))
+	logf("worker %s joined (%d alive)", "w1", 3)
+	if !strings.Contains(buf.String(), "worker w1 joined (3 alive)") {
+		t.Errorf("shim output %q missing rendered message", buf.String())
+	}
+	Logf(nil)("must not panic %d", 1)
+	Discard().Info("dropped")
+}
+
+// TestHTTPMiddleware checks request IDs are assigned, threaded through the
+// request context, and logged at debug.
+func TestHTTPMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, FormatText, slog.LevelDebug)
+	var seen string
+	h := HTTPMiddleware(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/varz", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if seen == "" {
+		t.Fatalf("handler saw no request ID")
+	}
+	if !strings.Contains(buf.String(), "request_id="+seen) || !strings.Contains(buf.String(), "path=/varz") {
+		t.Errorf("request log %q missing id %q or path", buf.String(), seen)
+	}
+}

@@ -1,0 +1,166 @@
+package simsvc
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one serving-plane occurrence: a job state transition, or a
+// service lifecycle marker (drain). Every event carries the service-wide
+// load gauges at publish time, so a consumer tailing the stream sees queue
+// depth and sweep progress without polling /varz. Seq is a strictly
+// increasing per-bus sequence number — the SSE event id, and the resume
+// cursor for Last-Event-ID reconnects.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind is "job" for job transitions, "service" for lifecycle markers.
+	Kind string `json:"kind"`
+	// Node is the origin worker on a cluster-merged stream ("" locally).
+	Node string `json:"node,omitempty"`
+
+	JobID string `json:"job_id,omitempty"`
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Message annotates service-kind events ("draining", ...).
+	Message   string `json:"message,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	Completed  uint64 `json:"completed"`
+}
+
+// Event kinds.
+const (
+	EventJob     = "job"
+	EventService = "service"
+)
+
+// DefaultEventHistory is the bus's replay-ring size when Config.EventHistory
+// is unset: late subscribers and Last-Event-ID reconnects can recover this
+// many events before the stream restarts from live.
+const DefaultEventHistory = 1024
+
+// EventBus fans events out to subscribers and keeps a bounded replay ring
+// for resume. Publishing never blocks: a subscriber that stops draining its
+// channel is dropped (channel closed), and recovers by resubscribing from
+// its last seen sequence number — exactly the SSE reconnect path.
+type EventBus struct {
+	mu      sync.Mutex
+	seq     uint64
+	ring    []Event // bounded history, oldest first
+	ringCap int
+	subs    map[*Subscription]struct{}
+	closed  bool
+}
+
+// NewEventBus builds a bus keeping the given number of events for resume
+// (0 means DefaultEventHistory).
+func NewEventBus(history int) *EventBus {
+	if history <= 0 {
+		history = DefaultEventHistory
+	}
+	return &EventBus{ringCap: history, subs: make(map[*Subscription]struct{})}
+}
+
+// Subscription is one subscriber's live feed. Events (replayed then live)
+// arrive on C; the channel closes when the bus closes, the subscriber is
+// dropped for not draining, or Close is called.
+type Subscription struct {
+	C   <-chan Event
+	ch  chan Event
+	bus *EventBus
+}
+
+// Close detaches the subscription. Idempotent, safe concurrently with
+// publishes.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	s.bus.dropLocked(s)
+}
+
+func (b *EventBus) dropLocked(s *Subscription) {
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+}
+
+// Subscribe returns a feed of every event with Seq > after, replaying from
+// the ring first. An `after` older than the ring simply starts at the
+// oldest retained event (the gap is unrecoverable; SSE clients notice via
+// the sequence jump). The channel is buffered to hold the full replay plus
+// a live margin; consumers must drain promptly or be dropped.
+func (b *EventBus) Subscribe(after uint64) *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay := make([]Event, 0, len(b.ring))
+	for _, ev := range b.ring {
+		if ev.Seq > after {
+			replay = append(replay, ev)
+		}
+	}
+	ch := make(chan Event, len(replay)+b.ringCap)
+	for _, ev := range replay {
+		ch <- ev
+	}
+	s := &Subscription{C: ch, ch: ch, bus: b}
+	if b.closed {
+		close(ch)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Publish assigns the event its sequence number, appends it to the replay
+// ring and fans it out. Returns the stamped event. Publishing on a closed
+// bus is a no-op (events during shutdown have nobody left to tell).
+func (b *EventBus) Publish(ev Event) Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ev
+	}
+	b.seq++
+	ev.Seq = b.seq
+	if len(b.ring) == b.ringCap {
+		b.ring = b.ring[1:]
+	}
+	b.ring = append(b.ring, ev)
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			// Not draining; drop it. The closed channel tells the SSE
+			// handler to end the response, and the client reconnects with
+			// Last-Event-ID to resume from the ring.
+			b.dropLocked(s)
+		}
+	}
+	return ev
+}
+
+// LastSeq returns the most recently assigned sequence number.
+func (b *EventBus) LastSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Close ends the bus: every subscriber's channel closes after the events
+// already delivered, and later publishes are dropped.
+func (b *EventBus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		b.dropLocked(s)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"doram"
+	"doram/internal/metrics"
 )
 
 // Handler returns the service's HTTP/JSON API:
@@ -21,7 +22,10 @@ import (
 //	GET  /v1/jobs/{id}/metrics finished job's metric dump → metrics.Dump
 //	POST /v1/jobs/{id}/cancel request cancellation       → JobStatus
 //	GET  /healthz             liveness (503 once draining)
-//	GET  /varz                metric registry dump
+//	GET  /varz                metric registry dump (JSON)
+//	GET  /metrics             Prometheus text exposition of the same dump
+//	GET  /events              live service-wide SSE event stream
+//	GET  /v1/jobs/{id}/events SSE stream filtered to one job
 //
 // Service errors map onto status codes by kind: invalid specs → 400,
 // unknown jobs → 404, queue-full → 429 with a Retry-After header,
@@ -36,6 +40,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	return mux
 }
 
@@ -237,8 +244,58 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleVarz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.reg.Dump().WriteJSON(w); err != nil {
+	if err := s.dump().WriteJSON(w); err != nil {
 		// Header already sent; nothing recoverable.
 		return
 	}
+}
+
+func (s *Service) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	s.dump().WritePrometheus(w) // a write error means the scraper hung up
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ServeEventStream(w, r, s.bus, StreamOptions{
+		Heartbeat: s.cfg.SSEHeartbeat,
+		After:     s.cfg.After,
+	})
+}
+
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Status(id); err != nil {
+		writeError(w, err) // 404 before committing to a stream
+		return
+	}
+	ServeEventStream(w, r, s.bus, StreamOptions{
+		JobID:     id,
+		Heartbeat: s.cfg.SSEHeartbeat,
+		After:     s.cfg.After,
+		Terminal:  s.terminalEvent,
+	})
+}
+
+// terminalEvent synthesizes the closing stream event for a job that
+// finished before the subscriber arrived (its real transition may have
+// been evicted from the replay ring).
+func (s *Service) terminalEvent(jobID string) (Event, bool) {
+	st, err := s.Status(jobID)
+	if err != nil || !st.State.Terminal() {
+		return Event{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Event{
+		Time:       s.now(),
+		Kind:       EventJob,
+		JobID:      jobID,
+		State:      st.State,
+		Error:      st.Error,
+		CacheHit:   st.CacheHit,
+		Coalesced:  st.Coalesced,
+		QueueDepth: len(s.queue),
+		Running:    s.running,
+		Completed:  s.completed.Value(),
+	}, true
 }

@@ -21,12 +21,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"doram"
 	"doram/internal/metrics"
+	"doram/internal/obslog"
+	"doram/internal/stats"
 )
 
 // State is a job's lifecycle state.
@@ -105,6 +109,19 @@ type Config struct {
 	// accounting, and the Retry-After estimate; nil means time.Now. Tests
 	// pin it to assert on transition times instead of sleeping.
 	Now func() time.Time
+	// Logger receives structured job-lifecycle logs (log/slog); nil
+	// discards them, preserving the historical silence of embedded
+	// services in tests.
+	Logger *slog.Logger
+	// EventHistory sizes the event bus's replay ring (Last-Event-ID
+	// resume window); 0 means DefaultEventHistory.
+	EventHistory int
+	// SSEHeartbeat is the /events comment-heartbeat cadence; 0 means
+	// DefaultSSEHeartbeat.
+	SSEHeartbeat time.Duration
+	// After overrides the SSE heartbeat timer source; nil means
+	// time.After. Tests fire heartbeats deterministically through it.
+	After func(time.Duration) <-chan time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +244,15 @@ type Service struct {
 	// now is the clock behind history timestamps and duration accounting;
 	// time.Now unless Config.Now injected one.
 	now func() time.Time
+
+	logger *slog.Logger
+	bus    *EventBus
+
+	// stageHists accumulates cross-job per-stage latency histograms
+	// (lifted from each finished job's evtrace attribution) plus the job
+	// wall-time histogram; guarded by mu, exposed on GET /metrics.
+	stageHists map[string]*stats.Histogram
+	jobDur     *stats.Histogram // wall milliseconds per completed run
 }
 
 // New builds a service and starts its worker pool.
@@ -237,21 +263,28 @@ func New(cfg Config) *Service {
 		reg = metrics.New()
 	}
 	s := &Service{
-		cfg:      cfg,
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		cache:    newResultCache(cfg.CacheEntries),
-		queue:    make(chan *Job, cfg.QueueDepth),
-		runStart: make(map[*Job]time.Time),
-		reg:      reg,
-		runSim:   doram.SimulateContext,
-		now:      time.Now,
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		cache:      newResultCache(cfg.CacheEntries),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		runStart:   make(map[*Job]time.Time),
+		reg:        reg,
+		runSim:     doram.SimulateContext,
+		now:        time.Now,
+		logger:     obslog.Discard(),
+		bus:        NewEventBus(cfg.EventHistory),
+		stageHists: make(map[string]*stats.Histogram),
+		jobDur:     stats.NewHistogram(jobDurationBoundsMs),
 	}
 	if cfg.RunSim != nil {
 		s.runSim = cfg.RunSim
 	}
 	if cfg.Now != nil {
 		s.now = cfg.Now
+	}
+	if cfg.Logger != nil {
+		s.logger = cfg.Logger
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.submitted = reg.SyncCounter("simsvc.jobs.submitted")
@@ -327,9 +360,10 @@ func (s *Service) Submit(spec doram.Params) (*Job, error) {
 		job := s.newJobLocked(p, hash)
 		job.cacheHit = true
 		job.result = res
-		s.transitionLocked(job, StateDone)
 		s.cacheHits.Inc()
 		s.completed.Inc()
+		s.publishQueuedLocked(job)
+		s.transitionLocked(job, StateDone)
 		return job, nil
 	}
 
@@ -338,6 +372,7 @@ func (s *Service) Submit(spec doram.Params) (*Job, error) {
 		job.coalesced = true
 		job.leader = leader
 		leader.followers = append(leader.followers, job)
+		s.publishQueuedLocked(job)
 		if leader.state == StateRunning {
 			s.transitionLocked(job, StateRunning)
 		}
@@ -350,6 +385,7 @@ func (s *Service) Submit(spec doram.Params) (*Job, error) {
 	case s.queue <- job:
 		s.inflight[hash] = job
 		s.cacheMisses.Inc()
+		s.publishQueuedLocked(job)
 		return job, nil
 	default:
 		delete(s.jobs, job.id)
@@ -376,13 +412,60 @@ func (s *Service) newJobLocked(spec doram.Params, hash string) *Job {
 	return job
 }
 
+// jobDurationBoundsMs are power-of-two wall-millisecond buckets for the
+// per-run duration histogram, 1 ms to ~17 min before overflow.
+var jobDurationBoundsMs = func() []uint64 {
+	b := make([]uint64, 20)
+	for i := range b {
+		b[i] = 1 << uint(i)
+	}
+	return b
+}()
+
+// Events returns the service's event bus — every job state transition and
+// service lifecycle marker, consumed by the SSE endpoints and (in cluster
+// mode) embedding daemons.
+func (s *Service) Events() *EventBus { return s.bus }
+
 // transitionLocked records a state change; terminal states close Done.
+// Every transition is published on the event bus together with the load
+// gauges at that instant.
 func (s *Service) transitionLocked(job *Job, to State) {
 	job.state = to
 	job.history = append(job.history, Transition{State: to, At: s.now()})
 	if to.Terminal() {
 		close(job.done)
 	}
+	s.publishJobLocked(job, to)
+	if to == StateFailed {
+		s.logger.Warn("job failed",
+			slog.String("job_id", job.id), slog.String("error", job.errMsg))
+	}
+}
+
+// publishQueuedLocked announces a freshly accepted job on the event bus.
+// Creation sets the queued state directly (newJobLocked), so it is not a
+// transition; it is published only once the job is actually admitted —
+// a queue-full rejection discards the job without an event.
+func (s *Service) publishQueuedLocked(job *Job) {
+	s.publishJobLocked(job, StateQueued)
+}
+
+func (s *Service) publishJobLocked(job *Job, st State) {
+	s.bus.Publish(Event{
+		Time:       s.now(),
+		Kind:       EventJob,
+		JobID:      job.id,
+		State:      st,
+		Error:      job.errMsg,
+		CacheHit:   job.cacheHit,
+		Coalesced:  job.coalesced,
+		QueueDepth: len(s.queue),
+		Running:    s.running,
+		Completed:  s.completed.Value(),
+	})
+	s.logger.Debug("job state",
+		slog.String("job_id", job.id), slog.String("state", string(st)))
 }
 
 // finalizeLocked moves a job and its live followers to a terminal state.
@@ -394,7 +477,9 @@ func (s *Service) finalizeLocked(job *Job, to State, res *doram.SimResult, errMs
 		}
 		t.result = res
 		t.errMsg = errMsg
-		s.transitionLocked(t, to)
+		// Counters first so the published transition event's Completed
+		// gauge already includes this job — a tailing client sees sweep
+		// progress counts that agree with the event that advanced them.
 		switch to {
 		case StateDone:
 			s.completed.Inc()
@@ -403,6 +488,7 @@ func (s *Service) finalizeLocked(job *Job, to State, res *doram.SimResult, errMs
 		case StateCancelled:
 			s.cancelled.Inc()
 		}
+		s.transitionLocked(t, to)
 	}
 }
 
@@ -488,6 +574,7 @@ func (s *Service) runJob(job *Job) {
 	case err == nil:
 		s.cache.put(job.hash, res)
 		s.updateEWMALocked(dur)
+		s.foldStageHistsLocked(res, dur)
 		s.finalizeLocked(job, StateDone, res, "")
 	case errors.Is(err, context.Canceled):
 		s.finalizeLocked(job, StateCancelled, nil, "simsvc: cancelled mid-run")
@@ -497,6 +584,48 @@ func (s *Service) runJob(job *Job) {
 	default:
 		s.finalizeLocked(job, StateFailed, nil, err.Error())
 	}
+}
+
+// foldStageHistsLocked accumulates one finished run into the serving-level
+// latency histograms: wall time always, and — when the job's spec enabled
+// tracing — the full per-stage evtrace attribution histograms, merged
+// bucket-wise. This is what makes execution interference scrapeable at
+// GET /metrics instead of only dumpable per job: every traced job's stage
+// latencies aggregate into one continuously exported distribution.
+func (s *Service) foldStageHistsLocked(res *doram.SimResult, dur time.Duration) {
+	s.jobDur.Observe(uint64(dur.Milliseconds()))
+	if res == nil || res.Trace == nil {
+		return
+	}
+	for key, h := range res.Trace.StageHists {
+		name := "simsvc.stage." + strings.ReplaceAll(key, "/", ".") + ".cycles"
+		dst := s.stageHists[name]
+		if dst == nil {
+			dst = stats.NewHistogram(h.Bounds())
+			s.stageHists[name] = dst
+		}
+		if err := dst.MergeFrom(h); err != nil {
+			s.logger.Warn("stage histogram merge failed",
+				slog.String("stage", key), slog.String("error", err.Error()))
+		}
+	}
+}
+
+// dump snapshots the registry plus the serving-level histograms (job wall
+// time, per-stage latency) that live outside the registry. The /varz and
+// /metrics handlers both serve it.
+func (s *Service) dump() *metrics.Dump {
+	d := s.reg.Dump()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.Histograms == nil {
+		d.Histograms = make(map[string]metrics.HistogramDump, len(s.stageHists)+1)
+	}
+	d.Histograms["simsvc.job.duration_ms"] = metrics.NewHistogramDump(s.jobDur)
+	for name, h := range s.stageHists {
+		d.Histograms[name] = metrics.NewHistogramDump(h)
+	}
+	return d
 }
 
 // safeRun isolates a panicking simulation: the job fails, the worker (and
@@ -599,6 +728,9 @@ func (s *Service) Close(ctx context.Context) error {
 		return errors.New("simsvc: already closed")
 	}
 	s.draining = true
+	s.logger.Info("draining")
+	s.bus.Publish(Event{Time: s.now(), Kind: EventService, Message: "draining",
+		QueueDepth: len(s.queue), Running: s.running, Completed: s.completed.Value()})
 	for _, job := range s.jobs {
 		if job.state == StateQueued && job.leader == nil {
 			if s.inflight[job.hash] == job {
@@ -617,10 +749,12 @@ func (s *Service) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		s.bus.Close() // after the last worker's terminal events published
 		return nil
 	case <-ctx.Done():
 		s.baseCancel() // abort in-flight simulations; they stop within ~ms
 		<-drained
+		s.bus.Close()
 		return ctx.Err()
 	}
 }

@@ -159,6 +159,46 @@ func (h *Histogram) Bounds() []uint64 {
 	return out
 }
 
+// MergeFrom folds another latency aggregate into this one, as if every
+// sample observed by o had been observed here.
+func (l *Latency) MergeFrom(o Latency) {
+	if o.count == 0 {
+		return
+	}
+	if l.count == 0 || o.min < l.min {
+		l.min = o.min
+	}
+	if o.max > l.max {
+		l.max = o.max
+	}
+	l.count += o.count
+	l.sum += o.sum
+}
+
+// MergeFrom folds another histogram with identical bucket bounds into this
+// one — the cross-run aggregation path (a serving process accumulating
+// per-job latency attributions). Mismatched bounds are a programming
+// error, reported rather than panicking because the source histogram may
+// have crossed a process boundary.
+func (h *Histogram) MergeFrom(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("stats: merging histograms with %d and %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("stats: merging histograms with mismatched bound %d (%d vs %d)", i, b, o.bounds[i])
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.lat.MergeFrom(o.lat)
+	return nil
+}
+
 // Percentile returns an upper bound for the p-th percentile using bucket
 // boundaries. The overflow bucket reports the observed max. Out-of-contract
 // inputs are clamped rather than rejected: p <= 0 returns the observed min
