@@ -54,6 +54,7 @@ func main() {
 		cacheSize    = flag.Int("cache", 128, "result-cache entries (negative disables caching)")
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-time limit")
 		maxTrace     = flag.Uint64("max-trace", 2_000_000, "largest admitted per-core trace length")
+		retainJobs   = flag.Int("retain-jobs", simsvc.DefaultRetainJobs, "terminal jobs kept queryable before FIFO eviction (negative = keep all)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM/SIGINT")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -91,7 +92,7 @@ func main() {
 	defer stopDebug()
 
 	if *coordinator {
-		runCoordinator(ctx, logger, *addr, *heartbeat, *nodeTimeout, *hedgeAfter, *drainTimeout)
+		runCoordinator(ctx, logger, *addr, *heartbeat, *nodeTimeout, *hedgeAfter, *drainTimeout, *retainJobs)
 		return
 	}
 
@@ -101,6 +102,7 @@ func main() {
 		CacheEntries: *cacheSize,
 		JobTimeout:   *jobTimeout,
 		MaxTraceLen:  *maxTrace,
+		RetainJobs:   *retainJobs,
 		Logger:       logger,
 	})
 
@@ -216,11 +218,12 @@ func logDrainSummary(logger *slog.Logger, svc *simsvc.Service) {
 }
 
 // runCoordinator serves the cluster front door until the context ends.
-func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heartbeat, nodeTimeout, hedgeAfter, drainTimeout time.Duration) {
+func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heartbeat, nodeTimeout, hedgeAfter, drainTimeout time.Duration, retainJobs int) {
 	c := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		HeartbeatInterval: heartbeat,
 		NodeTimeout:       nodeTimeout,
 		HedgeAfter:        hedgeAfter,
+		RetainJobs:        retainJobs,
 		Logger:            logger,
 		EventFanIn:        true, // merge every worker's /events into ours
 	})

@@ -47,6 +47,12 @@ type CoordinatorConfig struct {
 	// MaxInflight bounds jobs the coordinator tracks in non-terminal
 	// states; submissions beyond it get backpressure (429). 0 means 4096.
 	MaxInflight int
+	// RetainJobs bounds how many terminal jobs stay queryable before the
+	// oldest are forgotten, FIFO — MaxInflight bounds live work, but a
+	// sustained load run would otherwise grow the terminal-job table
+	// without limit. 0 means simsvc.DefaultRetainJobs; negative retains
+	// everything. Non-terminal jobs are never evicted.
+	RetainJobs int
 	// RingReplicas is the virtual nodes per worker; 0 means 64.
 	RingReplicas int
 
@@ -116,6 +122,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 4096
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = simsvc.DefaultRetainJobs
 	}
 	if c.RingReplicas <= 0 {
 		c.RingReplicas = 64
@@ -209,13 +218,16 @@ type Coordinator struct {
 	hc  *http.Client
 	now func() time.Time // test hook; time.Now in production
 
-	mu      sync.Mutex
-	nodes   map[string]*node
-	ring    *ring
-	jobs    map[string]*cjob
-	seq     uint64
-	rng     *xrand.Rand        // backoff jitter; guarded by mu
-	tailers map[string]*tailer // fan-in streams, one per live worker
+	mu    sync.Mutex
+	nodes map[string]*node
+	ring  *ring
+	jobs  map[string]*cjob
+	// terminal is the FIFO of terminal job IDs backing RetainJobs
+	// eviction; its head is the next job to be forgotten.
+	terminal []string
+	seq      uint64
+	rng      *xrand.Rand        // backoff jitter; guarded by mu
+	tailers  map[string]*tailer // fan-in streams, one per live worker
 
 	logger *slog.Logger
 	bus    *simsvc.EventBus
@@ -443,8 +455,24 @@ func (c *Coordinator) transitionLocked(j *cjob, to simsvc.State) {
 	j.history = append(j.history, simsvc.Transition{State: to, At: c.now()})
 	if to.Terminal() {
 		close(j.done)
+		c.retireLocked(j)
 	}
 	c.publishJobLocked(j, to)
+}
+
+// retireLocked enrolls a freshly terminal job in the retention FIFO and
+// evicts beyond the bound. finalizeLocked is the only terminal-transition
+// path and it refuses already-terminal jobs, so the FIFO never holds
+// duplicates.
+func (c *Coordinator) retireLocked(j *cjob) {
+	if c.cfg.RetainJobs < 0 {
+		return
+	}
+	c.terminal = append(c.terminal, j.id)
+	for len(c.terminal) > c.cfg.RetainJobs {
+		delete(c.jobs, c.terminal[0])
+		c.terminal = c.terminal[1:]
+	}
 }
 
 // finalizeLocked moves a job to a terminal state and (asynchronously,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -688,5 +689,74 @@ func TestWorkerCacheHitFastPath(t *testing.T) {
 	r2, _ := c.Result(second.ID)
 	if !bytes.Equal(r1, r2) {
 		t.Errorf("cache-hit result bytes differ from the original")
+	}
+}
+
+// TestCoordinatorTerminalJobRetention: the coordinator's job table mirrors
+// simsvc's retention — beyond RetainJobs terminal entries the oldest are
+// forgotten (404), the newest stay queryable, and in-flight jobs are never
+// swept regardless of how much churn completes after them.
+func TestCoordinatorTerminalJobRetention(t *testing.T) {
+	clk := newFakeClock()
+	gate := newGateTransport()
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	blocking := func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		if cfg.Seed == 1 { // the in-flight job the sweep must not touch
+			started <- cfg.Benchmark
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+	}
+	w := newFakeWorker(t, simsvc.Config{Workers: 2, RunSim: blocking})
+	c := testCoordinator(t, clk, gate, CoordinatorConfig{RetainJobs: 2}, w)
+
+	stalled, err := c.Submit(specJSON(1))
+	if err != nil {
+		t.Fatalf("submit stalled: %v", err)
+	}
+	<-started // its worker picked it up and is now blocked
+
+	var ids []string
+	for seed := uint64(2); seed <= 5; seed++ {
+		st, err := c.Submit(specJSON(seed))
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		id := st.ID
+		stepUntil(t, c, clk, "job "+id+" done", func() bool {
+			st, err := c.Status(id)
+			return err == nil && st.State == simsvc.StateDone
+		})
+		ids = append(ids, id)
+	}
+
+	var se *simsvc.Error
+	for _, id := range ids[:2] { // oldest terminal jobs forgotten
+		if _, err := c.Status(id); !errors.As(err, &se) || se.Kind != simsvc.ErrNotFound {
+			t.Errorf("evicted job %s: got err %v, want ErrNotFound", id, err)
+		}
+	}
+	for _, id := range ids[2:] { // newest RetainJobs stay queryable
+		if st, err := c.Status(id); err != nil || st.State != simsvc.StateDone {
+			t.Errorf("retained job %s: err %v, state %v", id, err, st.State)
+		}
+	}
+	if st, err := c.Status(stalled.ID); err != nil || st.State.Terminal() {
+		t.Errorf("in-flight job swept: err %v, state %v", err, st.State)
+	}
+
+	// Completion enrolls it in the FIFO and displaces the then-oldest.
+	close(release)
+	stepUntil(t, c, clk, "stalled job done", func() bool {
+		st, err := c.Status(stalled.ID)
+		return err == nil && st.State == simsvc.StateDone
+	})
+	if _, err := c.Status(ids[2]); !errors.As(err, &se) || se.Kind != simsvc.ErrNotFound {
+		t.Errorf("job %s should have been displaced by the completion: %v", ids[2], err)
 	}
 }

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source behind the runner's open-loop schedule: Now
+// stamps send/receive instants, After parks until a deadline. Production
+// uses RealClock; the deterministic e2e tests drive a FakeClock so a load
+// run executes with zero sleeps and exact arrival times.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }
+
+// After returns time.After(d).
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock. Goroutines park in After; the
+// test observes them with AwaitWaiters and releases them with Advance,
+// which delivers each expired waiter its exact due time — so a runner
+// driven this way records send times identical to the planned arrivals.
+type FakeClock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters []fakeWaiter
+	stopped bool
+}
+
+type fakeWaiter struct {
+	due time.Time
+	ch  chan time.Time
+}
+
+// NewFakeClock builds a fake clock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	fc := &FakeClock{now: start}
+	fc.cond = sync.NewCond(&fc.mu)
+	return fc
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that receives the due time once the clock has
+// been advanced past it. Non-positive durations fire immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{due: c.now.Add(d), ch: ch})
+	c.cond.Broadcast()
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline
+// has passed, delivering each its own due time (not the post-advance now),
+// which keeps recorded fire times exact even when one Advance spans
+// several deadlines.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.due.After(c.now) {
+			kept = append(kept, w)
+		} else {
+			w.ch <- w.due
+		}
+	}
+	c.waiters = kept
+}
+
+// Waiters returns how many goroutines are parked in After.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// AwaitWaiters blocks until at least n goroutines are parked in After (or
+// Stop is called) — the test-side barrier that replaces sleeping until
+// "the runner must be waiting by now".
+func (c *FakeClock) AwaitWaiters(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.waiters) < n && !c.stopped {
+		c.cond.Wait()
+	}
+}
+
+// Stop releases every present and future AwaitWaiters call; tests call it
+// when tearing down advance-pump goroutines.
+func (c *FakeClock) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+	c.cond.Broadcast()
+}

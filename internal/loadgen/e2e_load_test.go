@@ -1,0 +1,241 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"doram"
+	"doram/internal/metrics"
+	"doram/internal/simsvc"
+)
+
+// The deterministic e2e load test: a doramload run against an
+// httptest-hosted doramd with the service clock and the runner clock both
+// pinned to a FakeClock — zero sleeps, exact arrival times. It asserts the
+// two properties that make the benchmark honest:
+//
+//   - open-loop scheduling: requests go out at their planned offsets even
+//     while the server is stalled (a closed-loop generator would stop
+//     sending and hide the queueing delay — coordinated omission);
+//   - 429/Retry-After handling: a backpressured request retries after the
+//     server's hint and still reports latency against its *planned*
+//     arrival time.
+
+// loadSpec builds the n-th distinct tiny spec of the test stream.
+func loadSpec(n uint64) doram.Params {
+	return doram.Params{
+		Scheme:    doram.SchemeDORAM,
+		Benchmark: "black",
+		TraceLen:  200,
+		Seed:      100 + n,
+	}.Canonical()
+}
+
+func TestE2EOpenLoopDeterministic(t *testing.T) {
+	fc := NewFakeClock(time.Unix(1_700_000_000, 0))
+	release := make(chan struct{})
+	// The fake simulation blocks until released, then returns a result
+	// whose latency attribution is a pure function of the spec.
+	runSim := func(ctx context.Context, c doram.SimConfig) (*doram.SimResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		p, err := doram.ParamsFromSimConfig(c)
+		if err != nil {
+			return nil, err
+		}
+		return &doram.SimResult{AvgNSExecCycles: 1, LatencyBreakdown: syntheticBreakdown(p.Hash())}, nil
+	}
+	svc := simsvc.New(simsvc.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		RunSim:     runSim,
+		Now:        fc.Now,
+	})
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Three distinct specs arriving at 10/20/30ms: with one worker and a
+	// one-slot queue, the third submission meets a full queue and a 429.
+	reqs := make([]Request, 3)
+	for i := range reqs {
+		spec := loadSpec(uint64(i))
+		reqs[i] = Request{
+			Index:  i,
+			At:     time.Duration(i+1) * 10 * time.Millisecond,
+			Tenant: "sapp-e2e",
+			Key:    i,
+			Spec:   spec,
+			Hash:   spec.Hash(),
+		}
+	}
+
+	const poll = 5 * time.Millisecond
+	sends := make(chan SendInfo, 16)
+	dones := make(chan Outcome, 8)
+	rc := RunConfig{
+		BaseURL:      srv.URL,
+		Clock:        fc,
+		PollInterval: poll,
+		OnSend:       func(si SendInfo) { sends <- si },
+		OnDone:       func(o Outcome) { dones <- o },
+	}
+	outcomeCh := make(chan []Outcome, 1)
+	go func() {
+		outs, err := Run(context.Background(), rc, reqs)
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+		outcomeCh <- outs
+	}()
+
+	deadline := time.Now().Add(30 * time.Second) // real-time failure guard only
+	spinUntil := func(msg string, cond func() bool) {
+		t.Helper()
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", msg)
+			}
+			runtime.Gosched()
+		}
+	}
+	counter := func(name string) uint64 {
+		resp, err := http.Get(srv.URL + "/varz")
+		if err != nil {
+			t.Fatalf("varz: %v", err)
+		}
+		defer resp.Body.Close()
+		var d metrics.Dump
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatalf("varz decode: %v", err)
+		}
+		return d.Counters[name]
+	}
+	advanced := time.Duration(0)
+	advanceTo := func(target time.Duration) {
+		t.Helper()
+		for advanced < target {
+			fc.AwaitWaiters(1)
+			step := target - advanced
+			if step > poll {
+				step = poll
+			}
+			fc.Advance(step)
+			advanced += step
+		}
+	}
+	expectSend := func(index, attempt int, at time.Duration) {
+		t.Helper()
+		select {
+		case si := <-sends:
+			if si.Index != index || si.Attempt != attempt || si.At != at {
+				t.Fatalf("send = %+v, want index %d attempt %d at %v", si, index, attempt, at)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no send observed for request %d", index)
+		}
+	}
+
+	// Request 0 goes out at exactly 10ms and its job starts (then stalls).
+	advanceTo(10 * time.Millisecond)
+	expectSend(0, 0, 10*time.Millisecond)
+	spinUntil("job 0 running", func() bool { return counter("simsvc.jobs.running") == 1 })
+
+	// Request 1 goes out at exactly 20ms despite the stalled server — the
+	// open-loop property — and parks in the one-slot queue.
+	advanceTo(20 * time.Millisecond)
+	expectSend(1, 0, 20*time.Millisecond)
+	spinUntil("job 1 queued", func() bool { return counter("simsvc.queue.depth") == 1 })
+
+	// Request 2 also keeps its slot, meets the full queue, and is 429ed.
+	advanceTo(30 * time.Millisecond)
+	expectSend(2, 0, 30*time.Millisecond)
+	spinUntil("429 issued", func() bool { return counter("simsvc.jobs.rejected") == 1 })
+
+	// Server stalled the whole time, yet every send kept its planned
+	// offset and none has completed: queueing is being measured, not
+	// hidden.
+	if len(dones) != 0 {
+		t.Fatal("no request should have completed while the simulator is stalled")
+	}
+
+	// Unstall and pump the clock in poll-sized steps until all three
+	// requests reach a terminal outcome (request 2 first waits out the
+	// server's Retry-After, then resubmits).
+	close(release)
+	done := 0
+	for done < 3 {
+		select {
+		case <-dones:
+			done++
+			continue
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out draining, %d/3 done", done)
+		}
+		if fc.Waiters() > 0 {
+			fc.Advance(poll)
+			advanced += poll
+		} else {
+			runtime.Gosched()
+		}
+	}
+	outs := <-outcomeCh
+
+	for i, o := range outs {
+		if o.State != OutcomeDone {
+			t.Fatalf("request %d: state %s (%s)", i, o.State, o.Err)
+		}
+		if o.SentAt != o.ScheduledAt {
+			t.Errorf("request %d sent at %v, scheduled %v — schedule drifted", i, o.SentAt, o.ScheduledAt)
+		}
+		if o.Breakdown == nil {
+			t.Errorf("request %d: no latency breakdown", i)
+		}
+		if o.WallLatency() <= 0 {
+			t.Errorf("request %d: non-positive wall latency %v", i, o.WallLatency())
+		}
+	}
+	if outs[2].Retries429 < 1 {
+		t.Errorf("request 2 should have been 429-retried, got %d retries", outs[2].Retries429)
+	}
+	// The retry waited out the server's Retry-After (whole seconds, so at
+	// least 1s of fake time) and the wall latency charges that wait to the
+	// planned arrival.
+	if outs[2].WallLatency() < time.Second {
+		t.Errorf("request 2 wall latency %v should include the Retry-After wait", outs[2].WallLatency())
+	}
+
+	// The attribution invariant holds on outcomes gathered under real
+	// concurrency, and the deterministic report sections are reproducible.
+	cfg := Config{Seed: 1, Rate: 100, Arrivals: ArrivalsUniform, MaxRequests: 3,
+		Tenants: []TenantSpec{{Name: "sapp-e2e", Weight: 1, Keys: 3, Base: loadSpec(0)}}}
+	rep := BuildReport(cfg, reqs, outs, nil)
+	if rep.SimSLO == nil {
+		t.Fatal("report has no SimSLO")
+	}
+	checkAttribution(t, rep.SimSLO)
+	if rep.SimSLO.Total.P99 == 0 {
+		t.Error("p99 must be non-zero")
+	}
+	a, err := rep.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildReport(cfg, reqs, outs, nil).MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("canonical report must be reproducible")
+	}
+}

@@ -1,0 +1,301 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"doram"
+	"doram/internal/xrand"
+)
+
+// TestZipfChiSquared draws 200k samples from a 50-rank Zipf(1.2) sampler
+// and checks the empirical frequencies against the analytic law with a
+// chi-squared goodness-of-fit test. 49 degrees of freedom put the 99.9th
+// percentile of the chi-squared distribution near 85; a correct sampler
+// under a fixed seed lands far below, a broken CDF or biased inversion
+// blows through it. Deterministic in the seed, so never flaky.
+func TestZipfChiSquared(t *testing.T) {
+	const (
+		ranks = 50
+		s     = 1.2
+		draws = 200_000
+	)
+	z := NewZipf(xrand.New(99), s, ranks)
+	counts := make([]int, ranks)
+	for i := 0; i < draws; i++ {
+		r := z.Sample()
+		if r < 0 || r >= ranks {
+			t.Fatalf("sample %d out of [0,%d)", r, ranks)
+		}
+		counts[r]++
+	}
+	var chi2 float64
+	for r := 0; r < ranks; r++ {
+		expected := z.Prob(r) * draws
+		if expected < 5 {
+			t.Fatalf("rank %d expected count %.1f too small for chi-squared", r, expected)
+		}
+		d := float64(counts[r]) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 85 {
+		t.Fatalf("chi-squared = %.1f over 49 dof, want < 85 (p=0.999)", chi2)
+	}
+	// The analytic law itself must be a distribution.
+	var sum float64
+	for r := 0; r < ranks; r++ {
+		sum += z.Prob(r)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("Prob sums to %v, want 1", sum)
+	}
+	// Monotone: rank 0 strictly hottest.
+	if z.Prob(0) <= z.Prob(1) || z.Prob(1) <= z.Prob(ranks-1) {
+		t.Fatal("Zipf probabilities must decrease with rank")
+	}
+}
+
+// TestZipfUniformDegenerate: s = 0 must be uniform.
+func TestZipfUniformDegenerate(t *testing.T) {
+	z := NewZipf(xrand.New(1), 0, 8)
+	for r := 0; r < 8; r++ {
+		if math.Abs(z.Prob(r)-0.125) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want 0.125", r, z.Prob(r))
+		}
+	}
+}
+
+// TestPoissonInterArrivals checks the exponential gap statistics: for rate
+// λ the gaps must have mean 1/λ and variance 1/λ², each within a few
+// percent over 100k gaps (fixed seed, deterministic).
+func TestPoissonInterArrivals(t *testing.T) {
+	const (
+		rate = 250.0
+		n    = 100_000
+	)
+	p := NewPoisson(xrand.New(7), rate)
+	gaps := make([]float64, n)
+	prev := time.Duration(0)
+	for i := range gaps {
+		at := p.Next()
+		if at <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %v then %v", i, prev, at)
+		}
+		gaps[i] = (at - prev).Seconds()
+		prev = at
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= n
+	var varg float64
+	for _, g := range gaps {
+		varg += (g - mean) * (g - mean)
+	}
+	varg /= n
+	wantMean := 1 / rate
+	if math.Abs(mean-wantMean)/wantMean > 0.02 {
+		t.Errorf("gap mean = %v, want %v ± 2%%", mean, wantMean)
+	}
+	wantVar := 1 / (rate * rate)
+	if math.Abs(varg-wantVar)/wantVar > 0.05 {
+		t.Errorf("gap variance = %v, want %v ± 5%%", varg, wantVar)
+	}
+}
+
+// TestUniformInterArrivals: the closed-form process.
+func TestUniformInterArrivals(t *testing.T) {
+	u := NewUniform(100)
+	for i := 1; i <= 5; i++ {
+		if got, want := u.Next(), time.Duration(i)*10*time.Millisecond; got != want {
+			t.Fatalf("arrival %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestDiurnalRateCurve partitions a full period into 8 windows and checks
+// each window's arrival count against the integrated rate. With base 400/s,
+// amp 0.8 and a 20s period, trough windows expect ~330 arrivals and peak
+// windows ~1670; 15% tolerance comfortably covers Poisson noise at the
+// fixed seed while still catching an inverted or flat curve.
+func TestDiurnalRateCurve(t *testing.T) {
+	const (
+		base   = 400.0
+		amp    = 0.8
+		nWin   = 8
+		relTol = 0.15
+	)
+	period := 20 * time.Second
+	d := NewDiurnal(xrand.New(3), base, amp, period)
+	counts := make([]int, nWin)
+	winLen := period / nWin
+	for {
+		at := d.Next()
+		if at >= period {
+			break
+		}
+		counts[int(at/winLen)]++
+	}
+	for w := 0; w < nWin; w++ {
+		// Integrate rate(t) over the window numerically via the midpoint of
+		// 100 slices — exact enough against a 15% tolerance.
+		var expected float64
+		for s := 0; s < 100; s++ {
+			mid := time.Duration(w)*winLen + winLen*time.Duration(2*s+1)/200
+			expected += d.Rate(mid) * (winLen.Seconds() / 100)
+		}
+		if math.Abs(float64(counts[w])-expected)/expected > relTol {
+			t.Errorf("window %d: %d arrivals, want ~%.0f ± %d%%", w, counts[w], expected, int(relTol*100))
+		}
+	}
+	// The curve must actually swing: peak window ≫ trough window.
+	if counts[4] < 3*counts[0] {
+		t.Errorf("peak window %d vs trough %d: diurnal swing missing", counts[4], counts[0])
+	}
+}
+
+// TestPlanDeterministic: identical configs replay bit-identical request
+// streams — the property the CI load-smoke job leans on.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:        42,
+		Rate:        500,
+		Arrivals:    ArrivalsPoisson,
+		MaxRequests: 400,
+		Tenants:     DefaultTenants(3, 16, 1.1, doram.SchemeDORAM, 600),
+	}
+	a, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config must replay a bit-identical stream")
+	}
+	if Digest(a) != Digest(b) {
+		t.Fatal("same stream must digest identically")
+	}
+	cfg.Seed = 43
+	c, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Digest(a) == Digest(c) {
+		t.Fatal("different seeds should not collide digests")
+	}
+}
+
+// TestPlanShape: arrivals increase, every tenant appears under a fair mix,
+// tenant trees stay disjoint, and hot keys repeat (the cache-hit driver).
+func TestPlanShape(t *testing.T) {
+	cfg := Config{
+		Seed:        7,
+		Rate:        1000,
+		Arrivals:    ArrivalsPoisson,
+		MaxRequests: 2000,
+		Tenants:     DefaultTenants(3, 32, 1.2, doram.SchemeDORAM, 600),
+	}
+	reqs, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2000 {
+		t.Fatalf("planned %d requests, want 2000", len(reqs))
+	}
+	tenants := map[string]int{}
+	specs := map[string]int{}
+	prev := time.Duration(-1)
+	for i, r := range reqs {
+		if r.Index != i {
+			t.Fatalf("request %d has index %d", i, r.Index)
+		}
+		if r.At <= prev {
+			t.Fatalf("request %d arrival %v not after %v", i, r.At, prev)
+		}
+		prev = r.At
+		if r.Hash != r.Spec.Hash() {
+			t.Fatalf("request %d hash mismatch", i)
+		}
+		tenants[r.Tenant]++
+		specs[r.Hash]++
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("saw %d tenants, want 3: %v", len(tenants), tenants)
+	}
+	// Weights are 1, 1/2, 1/3: the heaviest tenant must dominate the
+	// lightest by a clear margin.
+	if tenants["sapp-00-face"] < 2*tenants["sapp-02-stream"] {
+		t.Errorf("tenant weights not respected: %v", tenants)
+	}
+	// Zipf(1.2) over 32 keys: far fewer unique specs than requests.
+	if len(specs) >= len(reqs)/4 {
+		t.Errorf("%d unique specs over %d requests — no popularity skew?", len(specs), len(reqs))
+	}
+	// Distinct tenant trees: no spec hash may be claimed by two tenants.
+	owner := map[string]string{}
+	for _, r := range reqs {
+		if o, ok := owner[r.Hash]; ok && o != r.Tenant {
+			t.Fatalf("spec %s shared by tenants %s and %s", r.Hash[:8], o, r.Tenant)
+		}
+		owner[r.Hash] = r.Tenant
+	}
+}
+
+// TestPlanDurationBound: Duration bounds the horizon when MaxRequests is
+// absent, and the empirical rate tracks the configured one.
+func TestPlanDurationBound(t *testing.T) {
+	cfg := Config{
+		Seed:     5,
+		Rate:     2000,
+		Arrivals: ArrivalsPoisson,
+		Duration: 2 * time.Second,
+		Tenants:  DefaultTenants(1, 8, 1.0, doram.SchemePathORAM, 600),
+	}
+	reqs, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if r.At > cfg.Duration {
+			t.Fatalf("arrival %v beyond duration %v", r.At, cfg.Duration)
+		}
+	}
+	if n := len(reqs); n < 3600 || n > 4400 {
+		t.Fatalf("planned %d requests over 2s at 2000/s, want ~4000 ± 10%%", n)
+	}
+}
+
+// TestPlanRejectsBadConfigs: each invalid knob is reported, not planned.
+func TestPlanRejectsBadConfigs(t *testing.T) {
+	good := Config{
+		Seed: 1, Rate: 100, MaxRequests: 10,
+		Tenants: DefaultTenants(1, 4, 1.0, doram.SchemeDORAM, 600),
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no tenants", func(c *Config) { c.Tenants = nil }},
+		{"zero rate", func(c *Config) { c.Rate = 0 }},
+		{"unbounded", func(c *Config) { c.MaxRequests = 0; c.Duration = 0 }},
+		{"bad arrivals", func(c *Config) { c.Arrivals = "bursty" }},
+		{"zero weight", func(c *Config) { c.Tenants[0].Weight = 0 }},
+		{"zero keys", func(c *Config) { c.Tenants[0].Keys = 0 }},
+		{"unnamed tenant", func(c *Config) { c.Tenants[0].Name = "" }},
+		{"invalid base spec", func(c *Config) { c.Tenants[0].Base.Scheme = "warp-drive" }},
+	}
+	for _, tc := range cases {
+		cfg := good
+		cfg.Tenants = DefaultTenants(1, 4, 1.0, doram.SchemeDORAM, 600)
+		tc.mutate(&cfg)
+		if _, err := Plan(cfg); err == nil {
+			t.Errorf("%s: Plan accepted an invalid config", tc.name)
+		}
+	}
+}

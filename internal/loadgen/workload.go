@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"doram"
+	"doram/internal/xrand"
+)
+
+// TenantSpec is one S-App service in the mix: a base job spec (its scheme,
+// benchmark and knobs — its ORAM tree), a key space of popular variants,
+// and a Zipf exponent shaping how traffic concentrates on them. Key k of a
+// tenant materializes as the base spec with Seed = base.Seed + k: a
+// distinct tree instance per key, with hot keys exercising the doramd
+// result cache exactly the way repeated production queries would.
+type TenantSpec struct {
+	Name string `json:"name"`
+	// Weight is the tenant's share of total traffic (normalized over the
+	// mix; zero or negative panics in Plan).
+	Weight float64 `json:"weight"`
+	// Keys is the size of the tenant's key space.
+	Keys int `json:"keys"`
+	// ZipfS is the tenant's popularity exponent (0 = uniform).
+	ZipfS float64 `json:"zipf_s"`
+	// Base is the job spec every key derives from.
+	Base doram.Params `json:"base"`
+}
+
+// Config describes a complete workload: who arrives when, asking for what.
+type Config struct {
+	// Seed drives every random choice in the plan.
+	Seed uint64 `json:"seed"`
+	// Rate is the aggregate mean arrival rate in requests/second.
+	Rate float64 `json:"rate"`
+	// Arrivals picks the arrival process: ArrivalsPoisson (default),
+	// ArrivalsUniform or ArrivalsDiurnal.
+	Arrivals string `json:"arrivals"`
+	// DiurnalPeriod and DiurnalAmp shape the diurnal rate curve; ignored
+	// for other processes.
+	DiurnalPeriod time.Duration `json:"diurnal_period_ns,omitempty"`
+	DiurnalAmp    float64       `json:"diurnal_amp,omitempty"`
+	// MaxRequests caps the plan length; 0 means unlimited (Duration must
+	// then bound the plan).
+	MaxRequests int `json:"max_requests,omitempty"`
+	// Duration bounds the plan's arrival horizon; 0 means unlimited
+	// (MaxRequests must then bound the plan).
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	// Tenants is the multi-tenant mix; at least one is required.
+	Tenants []TenantSpec `json:"tenants"`
+}
+
+// Request is one planned arrival. At is the offset from the start of the
+// run at which the request must be sent — fixed by the arrival process at
+// planning time, which is what makes the runner open-loop.
+type Request struct {
+	Index  int           `json:"index"`
+	At     time.Duration `json:"at_ns"`
+	Tenant string        `json:"tenant"`
+	Key    int           `json:"key"`
+	Spec   doram.Params  `json:"spec"`
+	// Hash is Spec.Hash(), precomputed because the runner and the report
+	// aggregate by it.
+	Hash string `json:"hash"`
+}
+
+// Plan expands a workload config into its full request stream. The stream
+// is a pure function of the config: identical configs (same seed included)
+// produce bit-identical streams, which the sampler property tests and the
+// CI load-smoke job both enforce. Random choices are drawn from forked,
+// decorrelated substreams — arrivals, tenant selection and each tenant's
+// key popularity evolve independently, so adding a tenant does not perturb
+// another tenant's key sequence.
+func Plan(cfg Config) ([]Request, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: workload needs at least one tenant")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: workload rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.MaxRequests <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: workload needs MaxRequests or Duration to bound the plan")
+	}
+	var totalWeight float64
+	for i, t := range cfg.Tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("loadgen: tenant %d needs a name", i)
+		}
+		if t.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: tenant %s weight must be positive", t.Name)
+		}
+		if t.Keys <= 0 {
+			return nil, fmt.Errorf("loadgen: tenant %s needs a positive key space", t.Name)
+		}
+		if err := t.Base.Validate(); err != nil {
+			return nil, fmt.Errorf("loadgen: tenant %s base spec: %w", t.Name, err)
+		}
+		totalWeight += t.Weight
+	}
+
+	master := xrand.New(cfg.Seed)
+	period := cfg.DiurnalPeriod
+	if period <= 0 {
+		period = time.Minute
+	}
+	proc, err := newProcess(cfg.Arrivals, master.Fork(1), cfg.Rate, cfg.DiurnalAmp, period)
+	if err != nil {
+		return nil, err
+	}
+	pick := master.Fork(2)
+	zipfs := make([]*Zipf, len(cfg.Tenants))
+	for i, t := range cfg.Tenants {
+		zipfs[i] = NewZipf(master.Fork(uint64(3+i)), t.ZipfS, t.Keys)
+	}
+	// Tenant CDF over normalized weights.
+	tcdf := make([]float64, len(cfg.Tenants))
+	var acc float64
+	for i, t := range cfg.Tenants {
+		acc += t.Weight / totalWeight
+		tcdf[i] = acc
+	}
+	tcdf[len(tcdf)-1] = 1
+
+	var reqs []Request
+	for {
+		if cfg.MaxRequests > 0 && len(reqs) >= cfg.MaxRequests {
+			break
+		}
+		at := proc.Next()
+		if cfg.Duration > 0 && at > cfg.Duration {
+			break
+		}
+		u := pick.Float64()
+		ti := 0
+		for ti < len(tcdf)-1 && u >= tcdf[ti] {
+			ti++
+		}
+		t := cfg.Tenants[ti]
+		key := zipfs[ti].Sample()
+		spec := t.Base
+		if spec.Seed == 0 {
+			spec.Seed = 1 // canonical default, so +key stays distinguishable
+		}
+		spec.Seed += uint64(key)
+		spec = spec.Canonical()
+		reqs = append(reqs, Request{
+			Index:  len(reqs),
+			At:     at,
+			Tenant: t.Name,
+			Key:    key,
+			Spec:   spec,
+			Hash:   spec.Hash(),
+		})
+	}
+	return reqs, nil
+}
+
+// Digest returns the hex SHA-256 of the stream's identity — one line per
+// request covering index, send time, tenant, key and spec hash. Two plans
+// digest equally exactly when they are the same stream; the report embeds
+// it so CI can assert same-seed byte-identity without shipping the stream.
+func Digest(reqs []Request) string {
+	h := sha256.New()
+	for _, r := range reqs {
+		fmt.Fprintf(h, "%d %d %s %d %s\n", r.Index, int64(r.At), r.Tenant, r.Key, r.Hash)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WriteStream dumps the plan as JSON Lines, one request per line — the
+// replayable artifact form (doramload -stream-out).
+func WriteStream(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("loadgen: stream write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// defaultBenchmarks rotates tenants across a spread of MSC benchmark
+// characters: streaming, random-access and transaction-like mixes.
+var defaultBenchmarks = []string{"face", "libq", "stream", "comm2", "fluid", "swapt", "mummer", "black"}
+
+// DefaultTenants builds a plausible n-tenant production mix: distinct
+// benchmarks (rotating through memory-bound MSC characters), weights
+// following a 1/(i+1) popularity skew, distinct seed bases (so tenants
+// never share a tree even on the same benchmark), and ORAM-only tracing so
+// every result carries the stage breakdown the SLO report attributes from.
+func DefaultTenants(n, keys int, zipfS float64, scheme doram.Scheme, traceLen uint64) []TenantSpec {
+	tenants := make([]TenantSpec, n)
+	for i := range tenants {
+		bench := defaultBenchmarks[i%len(defaultBenchmarks)]
+		tenants[i] = TenantSpec{
+			Name:   fmt.Sprintf("sapp-%02d-%s", i, bench),
+			Weight: 1 / float64(i+1),
+			Keys:   keys,
+			ZipfS:  zipfS,
+			Base: doram.Params{
+				Scheme:    scheme,
+				Benchmark: bench,
+				TraceLen:  traceLen,
+				// Seeds spaced beyond any key space keep tenant trees
+				// disjoint.
+				Seed:          uint64(1 + i*1_000_000),
+				Trace:         true,
+				TraceOramOnly: true,
+			},
+		}
+	}
+	return tenants
+}

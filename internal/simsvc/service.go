@@ -96,6 +96,14 @@ type Config struct {
 	// MaxTraceLen caps the admitted per-core trace length (an admission
 	// control against queue-clogging jobs); 0 means 2,000,000.
 	MaxTraceLen uint64
+	// RetainJobs bounds how many terminal jobs stay queryable (status,
+	// result, metrics) before the oldest are forgotten, FIFO. Without a
+	// bound a sustained load run (doramload) grows the job table without
+	// limit — each submission is a new job ID even on a cache hit. 0
+	// means DefaultRetainJobs; negative retains everything (the historical
+	// behaviour, for batch workloads that read results long after a
+	// sweep). Non-terminal jobs are never evicted.
+	RetainJobs int
 	// Registry receives the service counters; nil builds a private one.
 	// Only concurrency-safe instruments are registered, so the registry
 	// may be dumped (GET /varz) while jobs run.
@@ -140,8 +148,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxTraceLen == 0 {
 		c.MaxTraceLen = 2_000_000
 	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = DefaultRetainJobs
+	}
 	return c
 }
+
+// DefaultRetainJobs is the terminal-job retention bound when
+// Config.RetainJobs is zero: large enough that any client polling at a
+// sane cadence reads its results long before eviction, small enough that
+// a multi-hour load run holds a bounded job table.
+const DefaultRetainJobs = 4096
 
 // Job is one submitted simulation. All mutable state is guarded by the
 // owning service's lock; read it through Status / Result or wait on Done.
@@ -216,6 +233,9 @@ type Service struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	inflight map[string]*Job // canonical spec hash -> queued/running leader
+	// terminal is the FIFO of terminal job IDs backing RetainJobs
+	// eviction; its head is the next job to be forgotten.
+	terminal []string
 	cache    *resultCache
 	seq      uint64
 	running  int
@@ -435,6 +455,7 @@ func (s *Service) transitionLocked(job *Job, to State) {
 	job.history = append(job.history, Transition{State: to, At: s.now()})
 	if to.Terminal() {
 		close(job.done)
+		s.retireLocked(job)
 	}
 	s.publishJobLocked(job, to)
 	if to == StateFailed {
@@ -466,6 +487,22 @@ func (s *Service) publishJobLocked(job *Job, st State) {
 	})
 	s.logger.Debug("job state",
 		slog.String("job_id", job.id), slog.String("state", string(st)))
+}
+
+// retireLocked enrolls a freshly terminal job in the retention FIFO and
+// evicts beyond the bound. Each job reaches a terminal state exactly once
+// (transitionLocked is guarded by Terminal checks at every call site), so
+// the FIFO never holds duplicates; non-terminal jobs are never enrolled
+// and so never evicted.
+func (s *Service) retireLocked(job *Job) {
+	if s.cfg.RetainJobs < 0 {
+		return
+	}
+	s.terminal = append(s.terminal, job.id)
+	for len(s.terminal) > s.cfg.RetainJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
 }
 
 // finalizeLocked moves a job and its live followers to a terminal state.

@@ -705,3 +705,92 @@ func TestInjectableClock(t *testing.T) {
 		}
 	}
 }
+
+// TestTerminalJobRetention: terminal jobs are evicted oldest-first once
+// more than RetainJobs of them are held, evicted ids answer ErrNotFound,
+// and non-terminal jobs are never evicted no matter how much churn
+// completes around them — only reaching a terminal state enrolls a job in
+// the retention FIFO.
+func TestTerminalJobRetention(t *testing.T) {
+	stallRelease := make(chan struct{})
+	runSim := func(ctx context.Context, cfg doram.SimConfig) (*doram.SimResult, error) {
+		if cfg.Seed == 1 { // the long-running job the sweep must not evict
+			select {
+			case <-stallRelease:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &doram.SimResult{AvgNSExecCycles: float64(cfg.Seed)}, nil
+	}
+	s := New(Config{Workers: 2, RetainJobs: 2, RunSim: runSim})
+	defer closeService(t, s)
+
+	stalled, err := s.Submit(specWithSeed(1))
+	if err != nil {
+		t.Fatalf("submit stalled: %v", err)
+	}
+	waitState(t, s, stalled.ID(), StateRunning)
+
+	var ids []string
+	for seed := uint64(2); seed <= 5; seed++ {
+		j, err := s.Submit(specWithSeed(seed))
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		waitState(t, s, j.ID(), StateDone)
+		ids = append(ids, j.ID())
+	}
+
+	var se *Error
+	for _, id := range ids[:2] { // oldest terminal jobs are gone
+		if _, err := s.Status(id); !errors.As(err, &se) || se.Kind != ErrNotFound {
+			t.Errorf("evicted job %s: got err %v, want ErrNotFound", id, err)
+		}
+	}
+	for _, id := range ids[2:] { // newest RetainJobs stay queryable
+		st, err := s.Status(id)
+		if err != nil || st.State != StateDone {
+			t.Errorf("retained job %s: err %v, state %+v", id, err, st.State)
+		}
+	}
+	// The still-running job predates every evicted one and must survive.
+	if st, err := s.Status(stalled.ID()); err != nil || st.State != StateRunning {
+		t.Errorf("running job evicted or mutated: err %v, state %v", err, st.State)
+	}
+
+	// Once it completes it joins the FIFO and displaces the then-oldest.
+	close(stallRelease)
+	waitState(t, s, stalled.ID(), StateDone)
+	if _, err := s.Status(ids[2]); !errors.As(err, &se) || se.Kind != ErrNotFound {
+		t.Errorf("job %s should have been displaced by the completion: %v", ids[2], err)
+	}
+	if _, err := s.Status(stalled.ID()); err != nil {
+		t.Errorf("freshly terminal job evicted immediately: %v", err)
+	}
+}
+
+// TestRetainJobsUnlimited: a negative RetainJobs disables the sweep — every
+// terminal job stays queryable, restoring the pre-retention behavior for
+// operators who want a full audit trail.
+func TestRetainJobsUnlimited(t *testing.T) {
+	release := make(chan struct{})
+	close(release) // sims complete immediately
+	s := New(Config{Workers: 1, RetainJobs: -1, RunSim: blockingSim(nil, release)})
+	defer closeService(t, s)
+
+	var ids []string
+	for seed := uint64(1); seed <= 8; seed++ {
+		j, err := s.Submit(specWithSeed(seed))
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		waitState(t, s, j.ID(), StateDone)
+		ids = append(ids, j.ID())
+	}
+	for _, id := range ids {
+		if _, err := s.Status(id); err != nil {
+			t.Errorf("job %s evicted despite unlimited retention: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestLatencySumSaturation: sums past MaxUint64 clamp (sticky) instead of
+// wrapping to a plausible-looking garbage mean — the sustained-load case
+// of 1e7+ large samples.
+func TestLatencySumSaturation(t *testing.T) {
+	var l Latency
+	l.Observe(math.MaxUint64)
+	if l.Saturated() {
+		t.Fatal("one sample should not saturate")
+	}
+	l.Observe(10)
+	if !l.Saturated() {
+		t.Fatal("sum past MaxUint64 must saturate")
+	}
+	if l.Sum() != math.MaxUint64 {
+		t.Fatalf("saturated sum = %d, want MaxUint64", l.Sum())
+	}
+	if l.Count() != 2 || l.Max() != math.MaxUint64 || l.Min() != 10 {
+		t.Fatalf("count/min/max wrong: %s", l.String())
+	}
+	l.Observe(1) // sticky
+	if l.Sum() != math.MaxUint64 || l.Count() != 3 {
+		t.Fatalf("saturation must be sticky: sum=%d count=%d", l.Sum(), l.Count())
+	}
+
+	// Saturation propagates through both merge paths.
+	var m Latency
+	m.Observe(7)
+	m.Merge(l)
+	if !m.Saturated() || m.Sum() != math.MaxUint64 || m.Count() != 4 {
+		t.Fatalf("Merge lost saturation: %s", m.String())
+	}
+	var f Latency
+	f.Observe(math.MaxUint64 - 3)
+	var g Latency
+	g.Observe(1000)
+	f.MergeFrom(g)
+	if !f.Saturated() || f.Sum() != math.MaxUint64 {
+		t.Fatalf("MergeFrom overflow not saturated: %s", f.String())
+	}
+}
+
+// TestPercentileHugeCounts grows a histogram past 2^53 samples by repeated
+// doubling and checks the percentile rank math neither overflows nor falls
+// off the end of the buckets (the float64 rank can exceed the population
+// up there; it must clamp).
+func TestPercentileHugeCounts(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	// Double via merge with a snapshot each round: 4 * 2^54 > 2^53 samples
+	// (still well under 2^64, so the counters themselves cannot wrap).
+	for i := 0; i < 54; i++ {
+		snap := NewHistogram([]uint64{10, 100, 1000})
+		if err := snap.MergeFrom(h); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if err := h.MergeFrom(snap); err != nil {
+			t.Fatalf("merge %d: %v", i, err)
+		}
+	}
+	lat := h.Latency()
+	if lat.Count() <= 1<<53 {
+		t.Fatalf("count = %d, want > 2^53", lat.Count())
+	}
+	if got := h.Percentile(100); got != 5000 {
+		t.Fatalf("p100 = %d, want observed max 5000", got)
+	}
+	if got := h.Percentile(50); got != 100 {
+		t.Fatalf("p50 = %d, want bucket bound 100", got)
+	}
+	s := h.Summary()
+	if s.P50 != 100 || s.P99 != 5000 {
+		t.Fatalf("summary = %+v, want P50 100, P99 5000", s)
+	}
+	satLat := h.Latency()
+	if !satLat.Saturated() {
+		t.Fatal("doubling sums past MaxUint64 should have saturated")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if got := Quantile(nil, 50); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	xs := []float64{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{-5, 1}, {0, 1}, {10, 1}, {20, 1}, {40, 3}, {50, 5}, {60, 5},
+		{80, 7}, {90, 9}, {100, 9}, {250, 9},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !reflect.DeepEqual(xs, []float64{9, 1, 7, 3, 5}) {
+		t.Fatal("Quantile must not mutate its input")
+	}
+}
+
+// TestReservoirExactWhileSmall: below capacity the reservoir holds every
+// sample, so quantiles are exact.
+func TestReservoirExactWhileSmall(t *testing.T) {
+	r := NewReservoir(16, 1)
+	for _, v := range []float64{4, 2, 8, 6} {
+		r.Observe(v)
+	}
+	if r.Count() != 4 || r.Len() != 4 {
+		t.Fatalf("count=%d len=%d, want 4/4", r.Count(), r.Len())
+	}
+	if got := r.Quantile(50); got != 4 {
+		t.Fatalf("p50 = %v, want 4", got)
+	}
+	if got := r.Quantile(100); got != 8 {
+		t.Fatalf("p100 = %v, want 8", got)
+	}
+}
+
+// TestReservoirStreamingAccuracy: one million uniform samples through a
+// 4096-slot reservoir estimate quantiles within a few percent. The seed is
+// fixed, so this is deterministic, not flaky.
+func TestReservoirStreamingAccuracy(t *testing.T) {
+	r := NewReservoir(4096, 42)
+	n := 1_000_000
+	for i := 0; i < n; i++ {
+		// A deterministic low-discrepancy sweep of [0,1).
+		r.Observe(math.Mod(float64(i)*0.6180339887498949, 1))
+	}
+	if r.Count() != uint64(n) || r.Len() != 4096 {
+		t.Fatalf("count=%d len=%d", r.Count(), r.Len())
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		got := r.Quantile(p)
+		want := p / 100
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("q%v = %v, want ~%v", p, got, want)
+		}
+	}
+}
+
+// TestReservoirDeterministic: identical seeds and observation order give
+// bit-identical reservoirs.
+func TestReservoirDeterministic(t *testing.T) {
+	build := func(seed uint64) []float64 {
+		r := NewReservoir(64, seed)
+		for i := 0; i < 10_000; i++ {
+			r.Observe(float64(i * 31 % 977))
+		}
+		out := make([]float64, r.Len())
+		copy(out, r.samples)
+		return out
+	}
+	if !reflect.DeepEqual(build(7), build(7)) {
+		t.Fatal("same seed must replay bit-identically")
+	}
+	if reflect.DeepEqual(build(7), build(8)) {
+		t.Fatal("different seeds should sample differently")
+	}
+}

@@ -30,11 +30,17 @@ func (c *Counter) Reset() { c.n = 0 }
 // Latency accumulates a stream of latency samples, tracking count, sum,
 // min and max. It deliberately avoids storing samples so that million-event
 // simulations stay cheap; use Histogram when a distribution is needed.
+//
+// The sum saturates at MaxUint64 instead of wrapping: a sustained-load run
+// (10^7+ samples of up to 2^44 cycles each) can legitimately exceed 64 bits,
+// and a silently wrapped sum would report a plausible-looking but garbage
+// mean. Once saturated (see Saturated), Mean is a lower bound.
 type Latency struct {
-	count uint64
-	sum   uint64
-	min   uint64
-	max   uint64
+	count     uint64
+	sum       uint64
+	min       uint64
+	max       uint64
+	saturated bool
 }
 
 // Observe records one latency sample.
@@ -46,8 +52,22 @@ func (l *Latency) Observe(v uint64) {
 		l.max = v
 	}
 	l.count++
+	l.addSum(v)
+}
+
+// addSum adds v to the running sum, saturating at MaxUint64 (sticky).
+func (l *Latency) addSum(v uint64) {
+	if l.saturated || l.sum > math.MaxUint64-v {
+		l.sum = math.MaxUint64
+		l.saturated = true
+		return
+	}
 	l.sum += v
 }
+
+// Saturated reports whether the sum clamped at MaxUint64; when true, Sum
+// and Mean are lower bounds rather than exact values.
+func (l *Latency) Saturated() bool { return l.saturated }
 
 // Count returns the number of samples observed.
 func (l *Latency) Count() uint64 { return l.count }
@@ -98,7 +118,12 @@ func (l *Latency) Merge(other Latency) {
 		l.max = other.max
 	}
 	l.count += other.count
-	l.sum += other.sum
+	if other.saturated {
+		l.saturated = true
+		l.sum = math.MaxUint64
+	} else {
+		l.addSum(other.sum)
+	}
 }
 
 // Reset clears all samples.
@@ -172,7 +197,12 @@ func (l *Latency) MergeFrom(o Latency) {
 		l.max = o.max
 	}
 	l.count += o.count
-	l.sum += o.sum
+	if o.saturated {
+		l.saturated = true
+		l.sum = math.MaxUint64
+	} else {
+		l.addSum(o.sum)
+	}
 }
 
 // MergeFrom folds another histogram with identical bucket bounds into this
@@ -218,6 +248,12 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	if target == 0 {
 		target = 1
 	}
+	// float64(count) rounds above 2^53 samples, so the computed rank can
+	// exceed the population; clamp so p=100 still lands in the last
+	// occupied bucket instead of falling through the loop.
+	if target > h.lat.count {
+		target = h.lat.count
+	}
 	var cum uint64
 	for i, c := range h.counts {
 		cum += c
@@ -253,6 +289,9 @@ func (h *Histogram) Summary() Summary {
 		t := uint64(math.Ceil(p / 100 * float64(h.lat.count)))
 		if t == 0 {
 			t = 1
+		}
+		if t > h.lat.count { // float rounding above 2^53 samples
+			t = h.lat.count
 		}
 		return t
 	}
@@ -327,6 +366,39 @@ func GeoMean(xs []float64) float64 {
 		return 0
 	}
 	return math.Exp(logSum / float64(n))
+}
+
+// Quantile returns the exact nearest-rank p-th percentile of xs (p in
+// [0,100], clamped). It sorts a copy, leaving xs untouched, and returns 0
+// for an empty slice. Unlike Histogram.Percentile this is exact rather
+// than a bucket upper bound — use it when the samples fit in memory, and
+// Reservoir when they do not.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return sortedQuantile(sorted, p)
+}
+
+// sortedQuantile is the nearest-rank rule over already-sorted samples.
+func sortedQuantile(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
