@@ -67,6 +67,7 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", time.Second, "coordinator: worker heartbeat interval")
 		nodeTimeout = flag.Duration("node-timeout", 0, "coordinator: heartbeat silence before a worker is dead (0 = 5×heartbeat)")
 		hedgeAfter  = flag.Duration("hedge-after", 30*time.Second, "coordinator: straggler delay before hedging a job to a second worker (negative disables)")
+		cacheFile   = flag.String("cache-file", "", "coordinator: result-cache snapshot, loaded on start and written on drain (off when empty)")
 	)
 	flag.Parse()
 
@@ -92,8 +93,12 @@ func main() {
 	defer stopDebug()
 
 	if *coordinator {
-		runCoordinator(ctx, logger, *addr, *heartbeat, *nodeTimeout, *hedgeAfter, *drainTimeout, *retainJobs)
+		runCoordinator(ctx, logger, *addr, *heartbeat, *nodeTimeout, *hedgeAfter, *drainTimeout, *retainJobs, *cacheFile)
 		return
+	}
+	if *cacheFile != "" {
+		fmt.Fprintln(os.Stderr, "doramd: -cache-file requires -coordinator")
+		os.Exit(2)
 	}
 
 	svc := simsvc.New(simsvc.Config{
@@ -218,7 +223,7 @@ func logDrainSummary(logger *slog.Logger, svc *simsvc.Service) {
 }
 
 // runCoordinator serves the cluster front door until the context ends.
-func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heartbeat, nodeTimeout, hedgeAfter, drainTimeout time.Duration, retainJobs int) {
+func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heartbeat, nodeTimeout, hedgeAfter, drainTimeout time.Duration, retainJobs int, cacheFile string) {
 	c := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		HeartbeatInterval: heartbeat,
 		NodeTimeout:       nodeTimeout,
@@ -227,6 +232,14 @@ func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heart
 		Logger:            logger,
 		EventFanIn:        true, // merge every worker's /events into ours
 	})
+	if cacheFile != "" {
+		n, err := c.LoadCache(cacheFile)
+		if err != nil {
+			fatal(logger, "cache load", err)
+		}
+		logger.Info("result cache loaded",
+			slog.String("path", cacheFile), slog.Int("entries", n))
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(logger, "listen", err)
@@ -252,6 +265,14 @@ func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heart
 		logger.Warn("http shutdown", slog.String("error", err.Error()))
 	}
 	c.Shutdown() // stop fan-in tailers, close the merged event bus
+	if cacheFile != "" {
+		if err := c.SaveCache(cacheFile); err != nil {
+			logger.Warn("cache save", slog.String("error", err.Error()))
+		} else {
+			logger.Info("result cache saved",
+				slog.String("path", cacheFile), slog.Int("entries", c.CacheLen()))
+		}
+	}
 	cv := c.Registry().CounterValues()
 	logger.Info("cluster summary",
 		slog.Uint64("completed", cv["cluster.jobs.completed"]),
@@ -259,6 +280,7 @@ func runCoordinator(ctx context.Context, logger *slog.Logger, addr string, heart
 		slog.Uint64("cancelled", cv["cluster.jobs.cancelled"]),
 		slog.Uint64("redispatched", cv["cluster.jobs.redispatched"]),
 		slog.Uint64("hedged", cv["cluster.jobs.hedged"]),
+		slog.Uint64("cache_hits", cv["cluster.cache.hits"]),
 		slog.Uint64("nodes_alive", cv["cluster.nodes.alive"]),
 		slog.Uint64("nodes_dead", cv["cluster.nodes.dead"]))
 }

@@ -8,6 +8,7 @@
 //	doramsim -scheme d-oram -bench mummer -k 1 -c 4
 //	doramsim -scheme non-secure -bench black -ns 7 -channels 1,2,3
 //	doramsim -chaos -seed 7
+//	doramsim -scheme d-oram -bench face -eviction deterministic-two-path -encryptor aes-gcm
 //	doramsim -scheme d-oram -bench face -link-corrupt 0.02 -link-loss 0.01
 //	doramsim -scheme d-oram -bench face -metrics-json metrics.json -metrics-csv timeline.csv
 //	doramsim -scheme d-oram -bench face -pprof cpu.out
@@ -34,6 +35,9 @@ func main() {
 		c        = flag.Int("c", -1, "NS-Apps allowed on the secure channel (-1 = all)")
 		traceLen = flag.Uint64("trace", 8000, "memory accesses per core")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+
+		eviction  = flag.String("eviction", "", "S-App eviction strategy: "+strings.Join(doram.EvictionStrategies(), ", "))
+		encryptor = flag.String("encryptor", "", "functional bucket encryptor: "+strings.Join(doram.BucketEncryptors(), ", "))
 		channels = flag.String("channels", "", "NS channel subset, e.g. 1,2,3")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		traceDir = flag.String("tracedir", "", "replay recorded traces from this directory (tracegen -o)")
@@ -65,6 +69,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validateName("eviction", *eviction, doram.EvictionStrategies()); err != nil {
+		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := validateName("encryptor", *encryptor, doram.BucketEncryptors()); err != nil {
+		fmt.Fprintf(os.Stderr, "doramsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *traceCheck != "" {
 		data, err := os.ReadFile(*traceCheck)
@@ -80,7 +92,7 @@ func main() {
 	}
 
 	if *chaos {
-		runChaos(*seed)
+		runChaos(*seed, *eviction, *encryptor)
 		return
 	}
 
@@ -91,6 +103,8 @@ func main() {
 	cfg.TraceLen = *traceLen
 	cfg.Seed = *seed
 	cfg.TraceDir = *traceDir
+	cfg.Eviction = *eviction
+	cfg.Encryptor = *encryptor
 	cfg.NoFastForward = *noFF
 	cfg.NoParallelMem = *noPar
 	cfg.LinkCorruptProb = *linkCorrupt
@@ -318,6 +332,20 @@ func writeMetrics(res *doram.SimResult, jsonPath, csvPath string) error {
 	return nil
 }
 
+// validateName rejects a backend name that is not registered, naming the
+// valid set; the empty name (the default backend) always passes.
+func validateName(kind, name string, valid []string) error {
+	if name == "" {
+		return nil
+	}
+	for _, v := range valid {
+		if name == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -%s %q (want one of %s)", kind, name, strings.Join(valid, ", "))
+}
+
 // openOut opens path for writing; "-" selects stdout (whose close is a
 // no-op so repeated exporters can share it).
 func openOut(path string) (*os.File, func() error, error) {
@@ -334,11 +362,14 @@ func openOut(path string) (*os.File, func() error, error) {
 // runChaos drives a deterministic fault campaign through the functional
 // Path ORAM (MAC integrity on) and reports what was injected, what each
 // mechanism detected, and what recovery cost. The same seed reproduces
-// the identical campaign.
-func runChaos(seed uint64) {
+// the identical campaign; eviction and encryptor select functional
+// backends ("" = defaults).
+func runChaos(seed uint64, eviction, encryptor string) {
 	cfg := doram.DefaultORAMConfig()
 	cfg.Levels = 12 // 16 MB-scale tree: quick, still thousands of buckets
 	cfg.Seed = seed
+	cfg.Eviction = eviction
+	cfg.Encryptor = encryptor
 	cfg.Faults = &doram.FaultPlan{
 		Seed:               seed,
 		BitFlips:           12,

@@ -5,9 +5,11 @@
 //
 //	experiments                      # run everything at default scale
 //	experiments -exp fig9            # one experiment
+//	experiments -figure eviction     # -figure is an alias for -exp
 //	experiments -exp fig4 -quick     # reduced sweep
 //	experiments -trace 20000         # longer traces (slower, steadier)
 //	experiments -benches black,libq  # workload subset
+//	experiments -exp fig9 -eviction deterministic-two-path
 package main
 
 import (
@@ -23,11 +25,15 @@ import (
 func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment id: all, "+strings.Join(doram.Experiments(), ", "))
+		figure  = flag.String("figure", "", "alias for -exp")
 		quick   = flag.Bool("quick", false, "reduced sweep (3 benchmarks, short traces)")
 		trace   = flag.Uint64("trace", 0, "memory accesses per core per run (0 = default)")
 		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		benches = flag.String("benches", "", "comma-separated benchmark subset")
 		asCSV   = flag.Bool("csv", false, "emit data tables as CSV instead of text")
+
+		eviction  = flag.String("eviction", "", "S-App eviction strategy for every run: "+strings.Join(doram.EvictionStrategies(), ", "))
+		encryptor = flag.String("encryptor", "", "functional bucket encryptor carried by every run: "+strings.Join(doram.BucketEncryptors(), ", "))
 
 		metricsDir   = flag.String("metrics-dir", "", "write one metric dump JSON per run into this directory (enables metrics)")
 		metricsEpoch = flag.Uint64("metrics-epoch", 0, "timeline sampling period in CPU cycles (0 = default)")
@@ -36,10 +42,29 @@ func main() {
 	)
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["exp"] && explicit["figure"] && *exp != *figure {
+		fmt.Fprintf(os.Stderr, "experiments: -figure is an alias for -exp; set one, not conflicting values %q and %q\n", *exp, *figure)
+		os.Exit(2)
+	}
+	if *figure != "" {
+		*exp = *figure
+	}
+	if err := validateName("eviction", *eviction, doram.EvictionStrategies()); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	if err := validateName("encryptor", *encryptor, doram.BucketEncryptors()); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+
 	opts := doram.ExperimentOptions{
 		Quick: *quick, TraceLen: *trace, Seed: *seed,
 		MetricsDir: *metricsDir, MetricsEpochCycles: *metricsEpoch,
 		TraceDir: *traceDir, Endpoint: *endpoint,
+		Eviction: *eviction, Encryptor: *encryptor,
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
@@ -65,4 +90,18 @@ func main() {
 			fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 		}
 	}
+}
+
+// validateName rejects a backend name that is not registered, naming the
+// valid set; the empty name (the default backend) always passes.
+func validateName(kind, name string, valid []string) error {
+	if name == "" {
+		return nil
+	}
+	for _, v := range valid {
+		if name == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -%s %q (want one of %s)", kind, name, strings.Join(valid, ", "))
 }

@@ -23,6 +23,7 @@ import (
 
 	"doram/internal/faults"
 	"doram/internal/oram"
+	"doram/internal/oram/backend"
 )
 
 // ORAMConfig configures a functional Path ORAM instance.
@@ -53,6 +54,20 @@ type ORAMConfig struct {
 	// ORAMs (Stefanov et al.'s recursion) instead of trusted memory;
 	// each access then costs extra map-ORAM accesses.
 	RecursivePositionMap bool
+	// Eviction selects the write-back strategy by registry name:
+	// "level-by-level" (default), "greedy-by-depth", or
+	// "deterministic-two-path" (one extra deterministic eviction path per
+	// access). Empty means the default.
+	Eviction string
+	// Encryptor selects the bucket crypto by registry name: "ctr-hmac"
+	// (default; WithMAC controls its tags), "aes-gcm" (always
+	// authenticated, random nonces), or "noop" (plaintext, tests only).
+	// Empty means the default.
+	Encryptor string
+	// ConstantTime routes stash serves and bucket decodes through
+	// branch-free select primitives, so secret block contents never steer
+	// the controller's instruction stream (TEE-style deployment).
+	ConstantTime bool
 	// Seed drives remapping; runs with equal seeds are identical.
 	Seed uint64
 	// Faults, when non-nil, schedules a deterministic fault-injection
@@ -129,6 +144,17 @@ func DefaultORAMConfig() ORAMConfig {
 	}
 }
 
+// EvictionStrategies lists the registered eviction-strategy names
+// accepted by ORAMConfig.Eviction, SimConfig.Eviction and the CLIs'
+// -eviction flags, sorted. The empty name selects the default
+// (level-by-level).
+func EvictionStrategies() []string { return backend.Evictions() }
+
+// BucketEncryptors lists the registered bucket-encryptor names accepted by
+// ORAMConfig.Encryptor, SimConfig.Encryptor and the CLIs' -encryptor
+// flags, sorted. The empty name selects the default (ctr-hmac).
+func BucketEncryptors() []string { return backend.Encryptors() }
+
 // ORAM is a functional Path ORAM block store: every Read or Write touches
 // one full tree path and remaps the block, so the physical access sequence
 // is independent of the logical one.
@@ -183,7 +209,22 @@ func NewORAM(cfg ORAMConfig) (*ORAM, error) {
 		o.faulty = faults.WrapStorage(store, plan)
 		store = o.faulty
 	}
-	client, err := oram.NewClientWithMap(p, store, cfg.Key, cfg.WithMAC, cfg.Seed, pos)
+	evict, err := backend.NewEviction(cfg.Eviction)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := backend.NewEncryptor(cfg.Encryptor, cfg.Key, cfg.WithMAC)
+	if err != nil {
+		return nil, err
+	}
+	client, err := oram.NewClientWithOptions(p, oram.ClientOptions{
+		Storage:      store,
+		Position:     pos,
+		Encryptor:    enc,
+		Eviction:     evict,
+		ConstantTime: cfg.ConstantTime,
+		Seed:         cfg.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +281,16 @@ func (o *ORAM) Accesses() uint64 { return o.client.Accesses() }
 // StashHighWater returns the stash's peak occupancy — the protocol-failure
 // headroom metric.
 func (o *ORAM) StashHighWater() int { return o.client.StashMax() }
+
+// Eviction returns the active eviction strategy's registry name.
+func (o *ORAM) Eviction() string { return o.client.EvictionName() }
+
+// Encryptor returns the active bucket encryptor's registry name.
+func (o *ORAM) Encryptor() string { return o.client.EncryptorName() }
+
+// ExtraEvictionPaths returns how many strategy-scheduled extra eviction
+// paths have run (nonzero only for deterministic-two-path).
+func (o *ORAM) ExtraEvictionPaths() uint64 { return o.client.ExtraEvictionPaths() }
 
 // BlocksPerAccess returns the memory blocks transferred per phase of one
 // access (the bandwidth amplification the paper's motivation quantifies).

@@ -99,7 +99,7 @@ func TestRunExperimentUnknown(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("experiments = %v", ids)
 	}
 	seen := map[string]bool{}
@@ -109,7 +109,7 @@ func TestExperimentsListed(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	for _, want := range []string{"table1", "fig4", "fig13", "ablation-layout"} {
+	for _, want := range []string{"table1", "fig4", "fig13", "ablation-layout", "eviction"} {
 		if !seen[want] {
 			t.Fatalf("missing experiment %q", want)
 		}

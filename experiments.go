@@ -29,6 +29,13 @@ type ExperimentOptions struct {
 	// (ORAM spans only, sampled) and writes one Chrome trace JSON per run
 	// into the directory (created if missing).
 	TraceDir string
+	// Eviction, when non-empty, selects the S-App eviction strategy for
+	// every run (names: EvictionStrategies()).
+	Eviction string
+	// Encryptor, when non-empty, selects the functional bucket encryptor
+	// carried by every run (names: BucketEncryptors()); it does not alter
+	// timing.
+	Encryptor string
 	// Endpoint, when set, offloads runs to a doramd simulation service at
 	// this base URL instead of simulating in-process; identical runs are
 	// served from the service's result cache. Not combinable with TraceDir
@@ -55,6 +62,8 @@ func (o ExperimentOptions) internal() experiments.Options {
 	io.MetricsEpochCycles = o.MetricsEpochCycles
 	io.TraceDir = o.TraceDir
 	io.Endpoint = o.Endpoint
+	io.Eviction = o.Eviction
+	io.Encryptor = o.Encryptor
 	return io
 }
 
@@ -64,7 +73,7 @@ func (o ExperimentOptions) internal() experiments.Options {
 func Experiments() []string {
 	return []string{
 		"table1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sapp",
-		"ablation-layout", "ablation-pace", "ablation-link", "ablation-coop", "ablation-scheduler", "ablation-memgen", "ablation-overlap", "ablation-forkpath", "oram-compare", "energy",
+		"ablation-layout", "ablation-pace", "ablation-link", "ablation-coop", "ablation-scheduler", "ablation-memgen", "ablation-overlap", "ablation-forkpath", "oram-compare", "eviction", "energy",
 	}
 }
 
@@ -110,6 +119,9 @@ func runExperimentTable(id string, o experiments.Options) (*experiments.Table, e
 		return t, err
 	case "oram-compare":
 		_, t, err := experiments.ORAMCompare(12, 2000, o.Seed)
+		return t, err
+	case "eviction":
+		_, t, err := experiments.EvictionAblation(o)
 		return t, err
 	case "ablation-layout", "ablation-pace", "ablation-link", "ablation-coop", "ablation-scheduler", "ablation-memgen", "ablation-overlap", "ablation-forkpath":
 		fns := map[string]func(experiments.Options, string) (*experiments.AblationSummary, *experiments.Table, error){

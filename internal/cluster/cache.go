@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Coordinator result cache: spec hash → result bytes. Simulations are
+// deterministic in the canonical spec (equal hashes mean equal results —
+// the same property the worker-side dedup cache relies on), so the
+// coordinator can answer a re-submitted spec without touching a worker,
+// even one whose original worker is long dead. The cache is bounded FIFO
+// and snapshottable to a JSON file, so a coordinator restart (deploys,
+// host moves) does not throw away the cluster's accumulated work.
+
+// DefaultCacheEntries bounds the result cache when CoordinatorConfig
+// leaves CacheEntries at zero.
+const DefaultCacheEntries = 1024
+
+// cacheSnapshotVersion is the persistence format version; loads reject
+// other versions rather than guessing.
+const cacheSnapshotVersion = 1
+
+// cacheSnapshot is the on-disk form: result documents keyed by spec hash.
+// Results are stored as JSON strings, not embedded documents — string
+// escaping round-trips the worker's bytes exactly, where re-marshalling
+// an embedded document would compact its whitespace and break the
+// byte-identity the coordinator's result relay (and hedging) rely on.
+type cacheSnapshot struct {
+	Version int               `json:"version"`
+	Results map[string]string `json:"results"`
+}
+
+// cacheGetLocked returns the cached result bytes for a spec hash.
+func (c *Coordinator) cacheGetLocked(hash string) ([]byte, bool) {
+	data, ok := c.cache[hash]
+	return data, ok
+}
+
+// cachePutLocked stores a finished job's result under its spec hash,
+// evicting the oldest entries beyond the configured bound.
+func (c *Coordinator) cachePutLocked(hash string, result []byte) {
+	if c.cfg.CacheEntries < 0 {
+		return
+	}
+	if _, exists := c.cache[hash]; !exists {
+		c.cacheOrder = append(c.cacheOrder, hash)
+	}
+	c.cache[hash] = result
+	for len(c.cacheOrder) > c.cfg.CacheEntries {
+		delete(c.cache, c.cacheOrder[0])
+		c.cacheOrder = c.cacheOrder[1:]
+	}
+}
+
+// CacheLen returns the number of cached results.
+func (c *Coordinator) CacheLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// SaveCache writes the result cache as a JSON snapshot, atomically
+// (temp file + rename), so a crash mid-save never truncates a previous
+// good snapshot.
+func (c *Coordinator) SaveCache(path string) error {
+	c.mu.Lock()
+	snap := cacheSnapshot{Version: cacheSnapshotVersion, Results: make(map[string]string, len(c.cache))}
+	for _, hash := range c.cacheOrder {
+		if data, ok := c.cache[hash]; ok {
+			snap.Results[hash] = string(data)
+		}
+	}
+	c.mu.Unlock()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("cluster: cache snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cluster: cache snapshot: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: cache snapshot %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: cache snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadCache installs entries from a snapshot written by SaveCache and
+// returns how many were loaded. A missing file is not an error — a fresh
+// deployment simply starts cold.
+func (c *Coordinator) LoadCache(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cluster: cache load: %w", err)
+	}
+	var snap cacheSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("cluster: cache load %s: %w", path, err)
+	}
+	if snap.Version != cacheSnapshotVersion {
+		return 0, fmt.Errorf("cluster: cache load %s: snapshot version %d, want %d",
+			path, snap.Version, cacheSnapshotVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for hash, result := range snap.Results {
+		if len(hash) != 64 { // spec hashes are hex SHA-256
+			continue
+		}
+		c.cachePutLocked(hash, []byte(result))
+		n++
+	}
+	return n, nil
+}

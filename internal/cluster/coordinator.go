@@ -55,6 +55,12 @@ type CoordinatorConfig struct {
 	RetainJobs int
 	// RingReplicas is the virtual nodes per worker; 0 means 64.
 	RingReplicas int
+	// CacheEntries bounds the coordinator-level result cache (spec hash →
+	// result bytes), FIFO-evicted. Simulations are deterministic in the
+	// canonical spec, so a re-submitted spec is answered from the cache
+	// without a dispatch. 0 means DefaultCacheEntries; negative disables
+	// caching. The cache is snapshottable via SaveCache/LoadCache.
+	CacheEntries int
 
 	// Circuit breaker: BreakerThreshold consecutive transport failures
 	// eject a worker from dispatch; after BreakerCooldown it half-opens
@@ -128,6 +134,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.RingReplicas <= 0 {
 		c.RingReplicas = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
 	}
 	if c.Logf == nil {
 		if c.Logger != nil {
@@ -225,7 +234,11 @@ type Coordinator struct {
 	// terminal is the FIFO of terminal job IDs backing RetainJobs
 	// eviction; its head is the next job to be forgotten.
 	terminal []string
-	seq      uint64
+	// cache holds finished results keyed by spec hash; cacheOrder is its
+	// FIFO eviction order (see cache.go).
+	cache      map[string][]byte
+	cacheOrder []string
+	seq        uint64
 	rng      *xrand.Rand        // backoff jitter; guarded by mu
 	tailers  map[string]*tailer // fan-in streams, one per live worker
 
@@ -241,6 +254,7 @@ type Coordinator struct {
 	submitted, completed, failed, cancelled, rejected  *metrics.SyncCounter
 	dispatchedCtr, redispatched, hedgesSent, hedgeWins *metrics.SyncCounter
 	nodeJoins, nodeDeaths, breakerTrips, proxyErrors   *metrics.SyncCounter
+	cacheHits                                          *metrics.SyncCounter
 }
 
 // NewCoordinator builds a coordinator. Call Run to start its control
@@ -258,6 +272,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		nodes:      make(map[string]*node),
 		ring:       newRing(cfg.RingReplicas),
 		jobs:       make(map[string]*cjob),
+		cache:      make(map[string][]byte),
 		rng:        xrand.New(max(cfg.Seed, 1)),
 		tailers:    make(map[string]*tailer),
 		logger:     obslog.Discard(),
@@ -282,6 +297,12 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	c.nodeDeaths = reg.SyncCounter("cluster.nodes.dead")
 	c.breakerTrips = reg.SyncCounter("cluster.breaker.opened")
 	c.proxyErrors = reg.SyncCounter("cluster.proxy.errors")
+	c.cacheHits = reg.SyncCounter("cluster.cache.hits")
+	reg.CounterFunc("cluster.cache.entries", func() uint64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return uint64(len(c.cache))
+	})
 	reg.CounterFunc("cluster.nodes.alive", func() uint64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -554,6 +575,15 @@ func (c *Coordinator) Submit(raw []byte) (JobStatus, error) {
 	c.jobs[j.id] = j
 	c.submitted.Inc()
 	c.publishJobLocked(j, simsvc.StateQueued)
+	if cached, ok := c.cacheGetLocked(j.hash); ok {
+		// Determinism makes equal hashes equal results, so a cached spec
+		// completes without touching a worker (or needing one alive).
+		c.cacheHits.Inc()
+		j.resultNode = "cache"
+		c.finalizeLocked(j, simsvc.StateDone, cached, "", nil)
+		c.mu.Unlock()
+		return c.statusOf(j), nil
+	}
 	c.mu.Unlock()
 
 	c.dispatchJob(j, now, false)
@@ -907,6 +937,7 @@ func (c *Coordinator) fetchResult(j *cjob, att *attempt) {
 			c.hedgeWins.Inc()
 		}
 		j.resultNode = att.node
+		c.cachePutLocked(j.hash, data)
 		c.finalizeLocked(j, simsvc.StateDone, data, "", att)
 	}
 	c.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"doram/internal/addrmap"
 	"doram/internal/dram"
 	"doram/internal/mc"
+	"doram/internal/oram/backend"
 	"doram/internal/trace"
 )
 
@@ -140,6 +141,17 @@ type Config struct {
 	// the previous write phase drains ([39]'s acceleration; the paper's
 	// D-ORAM buffers instead, §III-B).
 	OverlapPhases bool
+	// Eviction selects the ORAM write-back strategy by registry name
+	// (backend.Evictions; "" = level-by-level). For the stashless timing
+	// samplers only strategies that schedule extra eviction paths change
+	// the address stream: deterministic-two-path adds one full path per
+	// access, pricing its bandwidth through the whole memory system.
+	Eviction string
+	// Encryptor selects the functional-plane bucket crypto by registry
+	// name (backend.Encryptors; "" = ctr-hmac). The timing simulator
+	// models crypto as part of the fixed delegator pipeline, so this knob
+	// is validated and carried in specs but does not alter timing results.
+	Encryptor string
 
 	// NoFastForward disables the idle-cycle fast-forward scheduler and runs
 	// the original cycle-by-cycle loop. The zero value (fast-forward on) is
@@ -262,6 +274,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: trace options require TraceEvents")
 	case c.ForceParallelMem && c.NoParallelMem:
 		return fmt.Errorf("core: ForceParallelMem contradicts NoParallelMem")
+	case !backend.ValidEviction(c.Eviction):
+		return fmt.Errorf("core: unknown eviction strategy %q (valid: %v)",
+			c.Eviction, backend.Evictions())
+	case !backend.ValidEncryptor(c.Encryptor):
+		return fmt.Errorf("core: unknown encryptor %q (valid: %v)",
+			c.Encryptor, backend.Encryptors())
 	}
 	for _, ch := range c.NSChannels {
 		if ch < 0 || ch >= NumChannels {

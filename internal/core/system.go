@@ -452,6 +452,9 @@ func (s *System) buildSApp(geo addrmap.Geometry, idx int) error {
 		lay := layout.New(p, subtree, 0)
 		sampler := oram.NewSampler(p, seed)
 		sampler.SetForkPath(s.cfg.ForkPath)
+		if err := sampler.SetEviction(s.cfg.Eviction); err != nil {
+			return err // unreachable after Config.Validate; defense in depth
+		}
 		oc := delegator.NewOnChip(sdCfg, sampler, lay, s.directMCs, geo)
 		s.onchips = append(s.onchips, oc)
 		s.engines = append(s.engines, delegator.NewEngine(oc, s.cfg.Pace, 16))
@@ -461,6 +464,9 @@ func (s *System) buildSApp(geo addrmap.Geometry, idx int) error {
 		lay := layout.New(p, subtree, s.cfg.SplitK)
 		sampler := oram.NewSampler(p, seed)
 		sampler.SetForkPath(s.cfg.ForkPath)
+		if err := sampler.SetEviction(s.cfg.Eviction); err != nil {
+			return err // unreachable after Config.Validate; defense in depth
+		}
 		sd, err := delegator.NewSD(sdCfg, sampler, lay, s.bobs[0], s.bobs[1:], geo)
 		if err != nil {
 			return err

@@ -54,6 +54,9 @@ type wireSpec struct {
 	DDR4          bool `json:"ddr4,omitempty"`
 	NoFastForward bool `json:"no_fast_forward,omitempty"`
 
+	Eviction  string `json:"eviction,omitempty"`
+	Encryptor string `json:"encryptor,omitempty"`
+
 	LinkCorruptProb float64 `json:"link_corrupt_prob,omitempty"`
 	LinkLossProb    float64 `json:"link_loss_prob,omitempty"`
 
@@ -96,6 +99,8 @@ func specFromConfig(cfg core.Config) (wireSpec, bool) {
 		OverlapPhases:      cfg.OverlapPhases,
 		DDR4:               cfg.DDR4,
 		NoFastForward:      cfg.NoFastForward,
+		Eviction:           cfg.Eviction,
+		Encryptor:          cfg.Encryptor,
 		LinkCorruptProb:    cfg.LinkCorruptProb,
 		LinkLossProb:       cfg.LinkLossProb,
 		Metrics:            cfg.MetricsEpochCycles > 0,

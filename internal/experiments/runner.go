@@ -38,6 +38,15 @@ type Options struct {
 	// "<TraceDir>/run<NNN>_<scheme>_<bench>.trace.json".
 	TraceDir string
 
+	// Eviction, when non-empty, selects the S-App eviction strategy for
+	// every run of the sweep (backend.Evictions() names). The stashless
+	// sampler's traces only change for strategies that add eviction paths.
+	Eviction string
+	// Encryptor, when non-empty, selects the functional bucket encryptor
+	// carried by every config (backend.Encryptors() names); it is
+	// validated and recorded but does not alter timing.
+	Encryptor string
+
 	// Endpoint, when set, offloads runs to the doramd simulation service at
 	// this base URL (e.g. "http://127.0.0.1:8344") instead of simulating
 	// in-process — identical specs dedup against the service's result
@@ -96,6 +105,12 @@ func (o Options) apply(cfg core.Config) core.Config {
 		cfg.TraceEvents = true
 		cfg.TraceSample = sweepTraceSample
 		cfg.TraceOramOnly = true
+	}
+	if o.Eviction != "" {
+		cfg.Eviction = o.Eviction
+	}
+	if o.Encryptor != "" {
+		cfg.Encryptor = o.Encryptor
 	}
 	return cfg
 }

@@ -1,7 +1,7 @@
 package faults
 
 import (
-	"doram/internal/oram"
+	"doram/internal/oram/backend"
 	"doram/internal/xrand"
 )
 
@@ -28,30 +28,30 @@ func (s StorageStats) Total() uint64 {
 	return n
 }
 
-// FaultyStorage wraps an oram.Storage and applies a Plan's scheduled
+// FaultyStorage wraps an backend.Storage and applies a Plan's scheduled
 // tampering. It is the adversary of the paper's threat model: it may
 // corrupt, replay, drop or garble bucket images, but it cannot forge
 // MACs or hashes — so every delivered fault must be *detected* by the
 // client's integrity machinery, and transient ones must heal on re-read.
 type FaultyStorage struct {
-	inner oram.Storage
+	inner backend.Storage
 	plan  *Plan
 	rng   *xrand.Rand
 
 	// prev holds each bucket's previous image, the replay attacker's
 	// stash of stale-but-authentic ciphertexts.
-	prev map[oram.NodeID][]byte
+	prev map[backend.NodeID][]byte
 	// cur mirrors the latest written image so persistent tampering can
 	// modify storage without reading through (and without tripping the
 	// wrapped store's own accounting, if any).
-	cur map[oram.NodeID][]byte
+	cur map[backend.NodeID][]byte
 
 	stats StorageStats
 }
 
 // WrapStorage applies plan to inner. A nil plan injects nothing (the
 // wrapper becomes a transparent pass-through with operation counting).
-func WrapStorage(inner oram.Storage, plan *Plan) *FaultyStorage {
+func WrapStorage(inner backend.Storage, plan *Plan) *FaultyStorage {
 	seed := uint64(0)
 	if plan != nil {
 		seed = plan.cfg.Seed
@@ -60,17 +60,17 @@ func WrapStorage(inner oram.Storage, plan *Plan) *FaultyStorage {
 		inner: inner,
 		plan:  plan,
 		rng:   xrand.New(seed ^ 0x5707a6e),
-		prev:  map[oram.NodeID][]byte{},
-		cur:   map[oram.NodeID][]byte{},
+		prev:  map[backend.NodeID][]byte{},
+		cur:   map[backend.NodeID][]byte{},
 	}
 }
 
 // Stats returns the injection counters.
 func (f *FaultyStorage) Stats() StorageStats { return f.stats }
 
-// ReadBucket implements oram.Storage, applying any read-side fault due at
+// ReadBucket implements backend.Storage, applying any read-side fault due at
 // this operation index.
-func (f *FaultyStorage) ReadBucket(node oram.NodeID) []byte {
+func (f *FaultyStorage) ReadBucket(node backend.NodeID) []byte {
 	seq := f.stats.Reads
 	f.stats.Reads++
 	buf := f.inner.ReadBucket(node)
@@ -84,7 +84,7 @@ func (f *FaultyStorage) ReadBucket(node oram.NodeID) []byte {
 }
 
 // applyRead delivers one read-side fault against the bucket being read.
-func (f *FaultyStorage) applyRead(ev Event, node oram.NodeID, buf []byte) []byte {
+func (f *FaultyStorage) applyRead(ev Event, node backend.NodeID, buf []byte) []byte {
 	switch ev.Kind {
 	case BitFlip:
 		if len(buf) == 0 {
@@ -131,9 +131,9 @@ func (f *FaultyStorage) applyRead(ev Event, node oram.NodeID, buf []byte) []byte
 	}
 }
 
-// WriteBucket implements oram.Storage, dropping the write when a
+// WriteBucket implements backend.Storage, dropping the write when a
 // DroppedWrite event is due at this operation index.
-func (f *FaultyStorage) WriteBucket(node oram.NodeID, buf []byte) {
+func (f *FaultyStorage) WriteBucket(node backend.NodeID, buf []byte) {
 	seq := f.stats.Writes
 	f.stats.Writes++
 	if f.plan != nil {
@@ -161,7 +161,7 @@ func (f *FaultyStorage) WriteBucket(node oram.NodeID, buf []byte) {
 
 // storeTampered commits a tampered image so subsequent reads keep
 // returning it (persistent faults).
-func (f *FaultyStorage) storeTampered(node oram.NodeID, buf []byte) {
+func (f *FaultyStorage) storeTampered(node backend.NodeID, buf []byte) {
 	f.inner.WriteBucket(node, buf)
 	f.stats.Persistent++
 }

@@ -1,0 +1,127 @@
+package oram
+
+// The pluggable building blocks — tree addressing, storage, encryption,
+// position maps, the stash and the eviction strategies — live in the
+// backend subpackage (see backend/backend.go). The aliases below keep
+// this package's historical names working for every importer (faults,
+// delegator, core, doram) while the protocol logic here composes the
+// interfaces.
+
+import "doram/internal/oram/backend"
+
+// Tree addressing.
+
+// NodeID identifies a tree node by its index in heap order.
+type NodeID = backend.NodeID
+
+// NodeAt returns the node at the given level on the path to leaf.
+func NodeAt(level int, leaf uint64, totalLevels int) NodeID {
+	return backend.NodeAt(level, leaf, totalLevels)
+}
+
+// PathNodes returns all node IDs on the path from the root to leaf,
+// root first.
+func PathNodes(leaf uint64, levels int) []NodeID {
+	return backend.PathNodes(leaf, levels)
+}
+
+// OnPath reports whether node lies on the path to leaf.
+func OnPath(node NodeID, leaf uint64, levels int) bool {
+	return backend.OnPath(node, leaf, levels)
+}
+
+// Blocks, stash, storage.
+
+// Block is one logical data block held in the stash or a bucket.
+type Block = backend.Block
+
+// Stash holds blocks read off their path and not yet written back.
+type Stash = backend.Stash
+
+// NewStash builds a stash bounded at capacity blocks.
+func NewStash(capacity int) *Stash { return backend.NewStash(capacity) }
+
+// ErrStashOverflow is returned when an access would exceed the stash
+// capacity.
+type ErrStashOverflow = backend.ErrStashOverflow
+
+// Storage is the untrusted memory holding encrypted buckets.
+type Storage = backend.Storage
+
+// MemStorage is an in-memory Storage for functional instances and tests.
+type MemStorage = backend.MemStorage
+
+// NewMemStorage allocates storage for n nodes.
+func NewMemStorage(n uint64) *MemStorage { return backend.NewMemStorage(n) }
+
+// Position maps.
+
+// InvalidPath marks a block with no assigned leaf.
+const InvalidPath = backend.InvalidPath
+
+// PositionMap assigns each logical block address to its current leaf.
+type PositionMap = backend.PositionMap
+
+// FlatMap is a dense position map.
+type FlatMap = backend.FlatMap
+
+// NewFlatMap allocates a dense map for n logical blocks, all unmapped.
+func NewFlatMap(n uint64) *FlatMap { return backend.NewFlatMap(n) }
+
+// LazyMap is a sparse position map for the timing simulator.
+type LazyMap = backend.LazyMap
+
+// NewLazyMap builds a sparse map over an ORAM with nLeaves leaves.
+func NewLazyMap(nLeaves, seed uint64) *LazyMap { return backend.NewLazyMap(nLeaves, seed) }
+
+// Bucket serialization and crypto.
+
+// MACSize is the truncated tag length appended to ctr-hmac buckets.
+const MACSize = backend.MACSize
+
+// BucketBytes returns the plaintext size of one serialized bucket.
+func BucketBytes(z, blockSize int) int { return backend.BucketBytes(z, blockSize) }
+
+func encodeBucket(blocks []*Block, z, blockSize int) []byte {
+	return backend.EncodeBucket(blocks, z, blockSize)
+}
+
+func decodeBucket(buf []byte, z, blockSize int) []*Block {
+	return backend.DecodeBucket(buf, z, blockSize)
+}
+
+// Encryptor seals bucket images for untrusted storage.
+type Encryptor = backend.Encryptor
+
+// Crypto is the historical name of the default AES-CTR + HMAC bucket
+// encryptor.
+type Crypto = backend.CTRHMACEncryptor
+
+// NewCrypto builds bucket crypto from a 16-byte key.
+func NewCrypto(key []byte, withMAC bool) (*Crypto, error) {
+	return backend.NewCTRHMACEncryptor(key, withMAC)
+}
+
+// Eviction strategies.
+
+// EvictionStrategy decides which stash blocks each write-back bucket gets.
+type EvictionStrategy = backend.EvictionStrategy
+
+// Integrity errors.
+
+// Mechanism names the integrity check that detected tampering.
+type Mechanism = backend.Mechanism
+
+// Integrity mechanisms.
+const (
+	// MechMAC is the per-bucket authenticator with trusted version
+	// counters (HMAC tag or AEAD).
+	MechMAC = backend.MechMAC
+	// MechMerkle is the hash tree over bucket ciphertexts.
+	MechMerkle = backend.MechMerkle
+	// MechChecksum is the serial-link frame CRC (package bob).
+	MechChecksum = backend.MechChecksum
+)
+
+// ErrIntegrity reports one failed integrity verification.
+type ErrIntegrity = backend.ErrIntegrity

@@ -1,0 +1,188 @@
+package backend
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Encryptor seals bucket images for untrusted storage and opens them on
+// the way back. Seal is called with a fresh (node, version) pair on every
+// write-back — version is a trusted, monotonically increasing per-node
+// counter — so implementations can derive unique nonces from it (CTR) or
+// bind it as associated data against replay (GCM). Two encryptions of
+// identical content must be indistinguishable: the re-encryption Path ORAM
+// requires.
+type Encryptor interface {
+	// Name returns the registry name ("ctr-hmac", "aes-gcm", "noop").
+	Name() string
+	// SealedBytes returns the ciphertext size for an n-byte plaintext.
+	SealedBytes(n int) int
+	// Seal encrypts a bucket image for (node, version).
+	Seal(node NodeID, version uint64, plain []byte) []byte
+	// Open decrypts (and, when the scheme authenticates, verifies) a
+	// sealed bucket. A failed authentication returns ErrIntegrity naming
+	// the node.
+	Open(node NodeID, version uint64, sealed []byte) ([]byte, error)
+}
+
+// Encryptor registry names. The empty string selects the default.
+const (
+	EncryptorCTRHMAC = "ctr-hmac"
+	EncryptorAESGCM  = "aes-gcm"
+	EncryptorNoOp    = "noop"
+)
+
+// DefaultEncryptor is the scheme the empty name resolves to.
+const DefaultEncryptor = EncryptorCTRHMAC
+
+// Encryptors returns the valid encryptor names, sorted.
+func Encryptors() []string {
+	names := []string{EncryptorCTRHMAC, EncryptorAESGCM, EncryptorNoOp}
+	sort.Strings(names)
+	return names
+}
+
+// ValidEncryptor reports whether name selects a known encryptor ("" is the
+// default).
+func ValidEncryptor(name string) bool {
+	switch name {
+	case "", EncryptorCTRHMAC, EncryptorAESGCM, EncryptorNoOp:
+		return true
+	}
+	return false
+}
+
+// NewEncryptor builds the named encryptor over a 16-byte key. withMAC only
+// affects the ctr-hmac scheme (GCM always authenticates, noop never does).
+// An unknown name lists the valid ones in the error.
+func NewEncryptor(name string, key []byte, withMAC bool) (Encryptor, error) {
+	switch name {
+	case "", EncryptorCTRHMAC:
+		return NewCTRHMACEncryptor(key, withMAC)
+	case EncryptorAESGCM:
+		return NewAESGCMEncryptor(key)
+	case EncryptorNoOp:
+		return NewNoOpEncryptor(), nil
+	}
+	return nil, fmt.Errorf("oram: unknown encryptor %q (valid: %v)", name, Encryptors())
+}
+
+// MACSize is the truncated tag length appended to ctr-hmac buckets.
+const MACSize = 16
+
+// CTRHMACEncryptor re-encrypts buckets on every write-back using AES-CTR
+// with a (node, version) nonce, so two encryptions of identical content
+// are indistinguishable. With MAC enabled it also appends a truncated
+// HMAC-SHA256 tag binding node and version, defeating spoofing and replay
+// of stale buckets.
+type CTRHMACEncryptor struct {
+	block  cipher.Block
+	macKey [32]byte
+	useMAC bool
+}
+
+// NewCTRHMACEncryptor builds bucket crypto from a 16-byte key.
+func NewCTRHMACEncryptor(key []byte, withMAC bool) (*CTRHMACEncryptor, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("oram: key must be 16 bytes, got %d", len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	c := &CTRHMACEncryptor{block: block, useMAC: withMAC}
+	var in [16]byte
+	copy(in[:], "oram-mac-derive0")
+	c.block.Encrypt(c.macKey[0:16], in[:])
+	in[15] = '1'
+	c.block.Encrypt(c.macKey[16:32], in[:])
+	return c, nil
+}
+
+// Name implements Encryptor.
+func (c *CTRHMACEncryptor) Name() string { return EncryptorCTRHMAC }
+
+// SealedBytes implements Encryptor.
+func (c *CTRHMACEncryptor) SealedBytes(n int) int {
+	if c.useMAC {
+		return n + MACSize
+	}
+	return n
+}
+
+func (c *CTRHMACEncryptor) stream(node NodeID, version uint64) cipher.Stream {
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[0:8], uint64(node))
+	binary.LittleEndian.PutUint64(iv[8:16], version)
+	return cipher.NewCTR(c.block, iv[:])
+}
+
+// Seal implements Encryptor.
+func (c *CTRHMACEncryptor) Seal(node NodeID, version uint64, plain []byte) []byte {
+	out := make([]byte, len(plain))
+	c.stream(node, version).XORKeyStream(out, plain)
+	if !c.useMAC {
+		return out
+	}
+	tag := c.tag(node, version, out)
+	return append(out, tag[:MACSize]...)
+}
+
+// Open implements Encryptor.
+func (c *CTRHMACEncryptor) Open(node NodeID, version uint64, sealed []byte) ([]byte, error) {
+	body := sealed
+	if c.useMAC {
+		if len(sealed) < MACSize {
+			return nil, ErrIntegrity{Node: node, Level: node.Level(), Mechanism: MechMAC}
+		}
+		body = sealed[:len(sealed)-MACSize]
+		want := c.tag(node, version, body)
+		if !hmac.Equal(want[:MACSize], sealed[len(body):]) {
+			return nil, ErrIntegrity{Node: node, Level: node.Level(), Mechanism: MechMAC}
+		}
+	}
+	out := make([]byte, len(body))
+	c.stream(node, version).XORKeyStream(out, body)
+	return out, nil
+}
+
+func (c *CTRHMACEncryptor) tag(node NodeID, version uint64, ct []byte) []byte {
+	mac := hmac.New(sha256.New, c.macKey[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(node))
+	binary.LittleEndian.PutUint64(hdr[8:16], version)
+	mac.Write(hdr[:])
+	mac.Write(ct)
+	return mac.Sum(nil)
+}
+
+// NoOpEncryptor stores bucket images in the clear: no confidentiality, no
+// integrity, zero crypto cost. It exists for fast functional tests and for
+// isolating protocol behaviour (stash dynamics, eviction ablations) from
+// crypto overhead — never for deployments.
+type NoOpEncryptor struct{}
+
+// NewNoOpEncryptor returns the identity encryptor.
+func NewNoOpEncryptor() *NoOpEncryptor { return &NoOpEncryptor{} }
+
+// Name implements Encryptor.
+func (*NoOpEncryptor) Name() string { return EncryptorNoOp }
+
+// SealedBytes implements Encryptor.
+func (*NoOpEncryptor) SealedBytes(n int) int { return n }
+
+// Seal implements Encryptor. It copies, preserving the caller-owned-buffer
+// contract of Storage.
+func (*NoOpEncryptor) Seal(node NodeID, version uint64, plain []byte) []byte {
+	return append([]byte(nil), plain...)
+}
+
+// Open implements Encryptor.
+func (*NoOpEncryptor) Open(node NodeID, version uint64, sealed []byte) ([]byte, error) {
+	return append([]byte(nil), sealed...), nil
+}

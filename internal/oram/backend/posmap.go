@@ -1,9 +1,6 @@
-package oram
+package backend
 
 import "doram/internal/xrand"
-
-// InvalidPath marks a block with no assigned leaf.
-const InvalidPath = ^uint64(0)
 
 // PositionMap assigns each logical block address to the leaf of the path
 // it currently resides on.

@@ -1,13 +1,9 @@
-package oram
+package backend
 
-import "fmt"
-
-// Block is one logical data block held in the stash or a bucket.
-type Block struct {
-	Addr uint64
-	Leaf uint64 // current path assignment
-	Data []byte
-}
+import (
+	"fmt"
+	"sort"
+)
 
 // ErrStashOverflow is returned when an access would exceed the stash
 // capacity — the "critical exception that fails the protocol" the paper's
@@ -21,7 +17,9 @@ func (e ErrStashOverflow) Error() string {
 }
 
 // Stash holds blocks that have been read off their path and not yet
-// written back.
+// written back. Selection order is deterministic (sorted by address)
+// wherever it can influence results, so equal seeds produce bit-identical
+// runs under every eviction strategy.
 type Stash struct {
 	blocks   map[uint64]*Block
 	capacity int
@@ -61,19 +59,43 @@ func (s *Stash) Put(b *Block) error {
 // Remove deletes addr from the stash.
 func (s *Stash) Remove(addr uint64) { delete(s.blocks, addr) }
 
+// Addrs returns the stashed addresses in ascending order — the canonical
+// iteration order for eviction strategies and constant-time scans.
+func (s *Stash) Addrs() []uint64 {
+	addrs := make([]uint64, 0, len(s.blocks))
+	for addr := range s.blocks {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// Sorted returns the stashed blocks in ascending address order.
+func (s *Stash) Sorted() []*Block {
+	addrs := s.Addrs()
+	out := make([]*Block, len(addrs))
+	for i, addr := range addrs {
+		out[i] = s.blocks[addr]
+	}
+	return out
+}
+
 // EvictForPath selects up to max blocks from the stash that may legally be
 // placed in the bucket at the given level of the path to leaf (i.e. whose
 // assigned leaf shares the path prefix down to that level). Selected blocks
-// are removed from the stash and returned. Deeper-eligible blocks are not
-// preferred over shallower ones here because the caller evicts leaf-first,
-// which already realizes the standard greedy deepest-first strategy.
+// are removed from the stash and returned. Candidates are considered in
+// ascending address order, so the selection is deterministic.
+// Deeper-eligible blocks are not preferred over shallower ones here because
+// the caller evicts leaf-first, which already realizes the standard greedy
+// deepest-first strategy.
 func (s *Stash) EvictForPath(leaf uint64, level, levels, max int) []*Block {
 	node := NodeAt(level, leaf, levels)
 	var out []*Block
-	for addr, b := range s.blocks {
+	for _, addr := range s.Addrs() {
 		if len(out) >= max {
 			break
 		}
+		b := s.blocks[addr]
 		if NodeAt(level, b.Leaf, levels) == node {
 			out = append(out, b)
 			delete(s.blocks, addr)

@@ -5,6 +5,7 @@ import (
 
 	"doram/internal/evtrace"
 	"doram/internal/metrics"
+	"doram/internal/oram/backend"
 	"doram/internal/xrand"
 )
 
@@ -30,16 +31,27 @@ type Trace struct {
 // encrypted buckets, maintains the stash and position map, and returns the
 // memory-access trace of every operation.
 type Client struct {
-	p      Params
-	pos    PositionMap
-	stash  *Stash
-	store  Storage
-	crypto *Crypto
+	p     Params
+	pos   PositionMap
+	stash *Stash
+	store Storage
+	enc   Encryptor
+	evict EvictionStrategy
 
 	versions []uint64   // per-node write counters (encryption nonces)
 	top      [][]*Block // plaintext buckets for the cached top levels
 
 	merkle *Merkle // optional hash-tree integrity (nil = disabled)
+
+	// Constant-time mode: stash serves and bucket decodes run branch-free
+	// (backend/consttime.go), so secret block contents never influence the
+	// controller's instruction stream. ctOps counts the slots scanned.
+	ct    bool
+	ctOps uint64
+
+	// Eviction accounting for the ablation sweep.
+	evictedBlocks  uint64 // blocks moved stash -> tree by write-backs
+	extraEvictions uint64 // extra whole-path evictions the strategy scheduled
 
 	// Background eviction (PHANTOM-style [28]): when the stash exceeds
 	// bgThreshold after an access, issue dummy accesses until it drains
@@ -73,6 +85,34 @@ type Client struct {
 	opClock uint64
 }
 
+// ClientOptions selects implementations for the client's pluggable seams.
+// Zero values reproduce the historical behaviour: dense trusted position
+// map, AES-CTR (+HMAC when WithMAC) bucket crypto, level-by-level greedy
+// eviction, branchy (fast) serve path.
+type ClientOptions struct {
+	// Storage is the untrusted bucket store (required).
+	Storage Storage
+	// Position supplies the position map; nil falls back to a dense
+	// trusted FlatMap — the hook the recursive construction uses to store
+	// one ORAM's map inside another.
+	Position PositionMap
+	// Encryptor overrides the bucket crypto; nil builds the default
+	// ctr-hmac scheme from Key and WithMAC.
+	Encryptor Encryptor
+	// Key is the 16-byte AES key for the default encryptor (ignored when
+	// Encryptor is set).
+	Key []byte
+	// WithMAC adds authentication tags to the default encryptor.
+	WithMAC bool
+	// Eviction overrides the write-back strategy; nil means LevelByLevel.
+	Eviction EvictionStrategy
+	// ConstantTime routes stash serves and bucket decodes through the
+	// branch-free primitives in backend/consttime.go.
+	ConstantTime bool
+	// Seed drives all remapping randomness, making runs reproducible.
+	Seed uint64
+}
+
 // NewClient builds a functional Path ORAM over store with a dense, trusted
 // position map. The key encrypts buckets (16 bytes); withMAC adds
 // integrity tags. The seed drives all remapping randomness, making runs
@@ -82,30 +122,49 @@ func NewClient(p Params, store Storage, key []byte, withMAC bool, seed uint64) (
 }
 
 // NewClientWithMap builds a client over an externally supplied position
-// map — the hook the recursive construction uses to store one ORAM's map
-// inside another. A nil pos falls back to a dense trusted map.
+// map. A nil pos falls back to a dense trusted map.
 func NewClientWithMap(p Params, store Storage, key []byte, withMAC bool, seed uint64, pos PositionMap) (*Client, error) {
+	return NewClientWithOptions(p, ClientOptions{
+		Storage: store, Position: pos, Key: key, WithMAC: withMAC, Seed: seed})
+}
+
+// NewClientWithOptions builds a client with explicit backend selections.
+func NewClientWithOptions(p Params, o ClientOptions) (*Client, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	crypto, err := NewCrypto(key, withMAC)
-	if err != nil {
-		return nil, err
+	if o.Storage == nil {
+		return nil, fmt.Errorf("oram: ClientOptions.Storage is required")
 	}
+	enc := o.Encryptor
+	if enc == nil {
+		var err error
+		enc, err = backend.NewCTRHMACEncryptor(o.Key, o.WithMAC)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pos := o.Position
 	if pos == nil {
 		pos = NewFlatMap(p.MaxBlocks())
+	}
+	evict := o.Eviction
+	if evict == nil {
+		evict = &backend.LevelByLevel{}
 	}
 	topNodes := uint64(1)<<uint(p.TopCacheLevels) - 1
 	c := &Client{
 		p:        p,
 		pos:      pos,
 		stash:    NewStash(p.StashCapacity),
-		store:    store,
-		crypto:   crypto,
+		store:    o.Storage,
+		enc:      enc,
+		evict:    evict,
+		ct:       o.ConstantTime,
 		versions: make([]uint64, p.NumNodes()),
 		top:      make([][]*Block, topNodes),
 		rec:      DefaultRecoveryConfig(),
-		rng:      xrand.New(seed),
+		rng:      xrand.New(o.Seed),
 	}
 	// Pressure relief engages at 90% occupancy by default — far above any
 	// healthy workload's high-water mark, so it only changes behaviour
@@ -126,6 +185,28 @@ func (c *Client) StashMax() int { return c.stash.MaxSeen() }
 
 // Accesses returns the number of accesses performed (including dummies).
 func (c *Client) Accesses() uint64 { return c.accesses }
+
+// EvictionName returns the active eviction strategy's registry name.
+func (c *Client) EvictionName() string { return c.evict.Name() }
+
+// EncryptorName returns the active bucket encryptor's registry name.
+func (c *Client) EncryptorName() string { return c.enc.Name() }
+
+// BlocksEvicted returns the total blocks moved from the stash into tree
+// buckets by write-backs (including top-cache placements).
+func (c *Client) BlocksEvicted() uint64 { return c.evictedBlocks }
+
+// ExtraEvictionPaths returns how many strategy-scheduled extra eviction
+// paths have run (nonzero only for multi-path strategies).
+func (c *Client) ExtraEvictionPaths() uint64 { return c.extraEvictions }
+
+// ConstantTime reports whether the branch-free serve path is active.
+func (c *Client) ConstantTime() bool { return c.ct }
+
+// CTOps returns the stash slots scanned by constant-time serves — equal
+// traffic for equal access sequences regardless of stored values, which
+// the constant-time tests assert.
+func (c *Client) CTOps() uint64 { return c.ctOps }
 
 // AttachMetrics registers the functional client's protocol state under
 // prefix (e.g. "oram."): stash occupancy for the timeline plus its
@@ -212,7 +293,9 @@ func (c *Client) Access(op Op, addr uint64, data []byte) ([]byte, Trace, error) 
 	}
 
 	// Serve the request from the stash (the path read moved the block there
-	// unless this is its first touch).
+	// unless this is its first touch). The map lookup locates the slot by
+	// its public address; in constant-time mode the data transfer itself
+	// runs branch-free over every stashed block.
 	b := c.stash.Get(addr)
 	if b == nil {
 		b = &Block{Addr: addr, Data: make([]byte, c.p.BlockSize)}
@@ -220,13 +303,27 @@ func (c *Client) Access(op Op, addr uint64, data []byte) ([]byte, Trace, error) 
 			return nil, Trace{}, err
 		}
 	}
-	if op == OpWrite {
-		copy(b.Data, data)
-		for i := len(data); i < len(b.Data); i++ {
-			b.Data[i] = 0
+	var out []byte
+	if c.ct {
+		buf := make([]byte, c.p.BlockSize)
+		var scanned int
+		if op == OpWrite {
+			copy(buf, data)
+			_, scanned = backend.CTStoreStash(c.stash, addr, buf)
+		} else {
+			_, scanned = backend.CTScanStash(c.stash, addr, buf)
 		}
+		c.ctOps += uint64(scanned)
+		out = buf
+	} else {
+		if op == OpWrite {
+			copy(b.Data, data)
+			for i := len(data); i < len(b.Data); i++ {
+				b.Data[i] = 0
+			}
+		}
+		out = append([]byte(nil), b.Data...)
 	}
-	out := append([]byte(nil), b.Data...)
 
 	// Remap to a fresh uniformly random path.
 	newLeaf := c.rng.Uint64n(c.p.NumLeaves())
@@ -238,6 +335,21 @@ func (c *Client) Access(op Op, addr uint64, data []byte) ([]byte, Trace, error) 
 	}
 	if err := c.writePath(leaf, &tr); err != nil {
 		return nil, Trace{}, err
+	}
+	// Strategy-scheduled extra eviction paths (deterministic-two-path):
+	// full read+write of each, merged into the access trace so the timing
+	// plane charges the added bandwidth to this access.
+	for _, el := range c.evict.ExtraPaths(c.p.Levels) {
+		etr, err := c.readPath(el)
+		if err != nil {
+			return nil, Trace{}, err
+		}
+		if err := c.writePath(el, &etr); err != nil {
+			return nil, Trace{}, err
+		}
+		tr.ReadNodes = append(tr.ReadNodes, etr.ReadNodes...)
+		tr.WriteNodes = append(tr.WriteNodes, etr.WriteNodes...)
+		c.extraEvictions++
 	}
 	if traced {
 		marks[5] = c.opTick()
@@ -409,7 +521,11 @@ func (c *Client) readPath(leaf uint64) (Trace, error) {
 			if plains[level] == nil {
 				continue // never written: empty bucket
 			}
-			blocks = decodeBucket(plains[level], c.p.Z, c.p.BlockSize)
+			if c.ct {
+				blocks = backend.DecodeBucketCT(plains[level], c.p.Z, c.p.BlockSize)
+			} else {
+				blocks = decodeBucket(plains[level], c.p.Z, c.p.BlockSize)
+			}
 		}
 		for _, b := range blocks {
 			if err := c.stash.Put(b); err != nil {
@@ -454,7 +570,7 @@ func (c *Client) openWithRetry(node NodeID) (plain, sealed []byte, err error) {
 		if sealed == nil {
 			return nil, nil, nil
 		}
-		plain, err = c.crypto.Open(node, c.versions[node], sealed)
+		plain, err = c.enc.Open(node, c.versions[node], sealed)
 		if err == nil {
 			return plain, sealed, nil
 		}
@@ -471,8 +587,10 @@ func (c *Client) openWithRetry(node NodeID) (plain, sealed []byte, err error) {
 	}
 }
 
-// writePath evicts stash blocks back onto the path (leaf-first, the greedy
-// deepest placement), re-encrypting every bucket, and records the writes.
+// writePath evicts stash blocks back onto the path (leaf-first, so greedy
+// strategies realize deepest placement), re-encrypting every bucket, and
+// records the writes. Which eligible blocks each bucket receives is the
+// eviction strategy's choice.
 func (c *Client) writePath(leaf uint64, tr *Trace) error {
 	var cts [][]byte
 	if c.merkle != nil {
@@ -480,14 +598,15 @@ func (c *Client) writePath(leaf uint64, tr *Trace) error {
 	}
 	for level := c.p.Levels; level >= 0; level-- {
 		node := NodeAt(level, leaf, c.p.Levels)
-		blocks := c.stash.EvictForPath(leaf, level, c.p.Levels, c.p.Z)
+		blocks := c.evict.PlanLevel(c.stash, leaf, level, c.p.Levels, c.p.Z)
+		c.evictedBlocks += uint64(len(blocks))
 		if level < c.p.TopCacheLevels {
 			c.top[node] = blocks
 			continue
 		}
 		tr.WriteNodes = append(tr.WriteNodes, node)
 		c.versions[node]++
-		sealed := c.crypto.Seal(node, c.versions[node], encodeBucket(blocks, c.p.Z, c.p.BlockSize))
+		sealed := c.enc.Seal(node, c.versions[node], encodeBucket(blocks, c.p.Z, c.p.BlockSize))
 		c.store.WriteBucket(node, sealed)
 		if c.merkle != nil {
 			cts[level] = sealed

@@ -313,7 +313,7 @@ func TestInvariantBlockOnAssignedPathOrStash(t *testing.T) {
 		if sealed == nil {
 			continue
 		}
-		plain, err := c.crypto.Open(NodeID(node), c.versions[node], sealed)
+		plain, err := c.enc.Open(NodeID(node), c.versions[node], sealed)
 		if err != nil {
 			t.Fatalf("node %d: %v", node, err)
 		}

@@ -80,42 +80,5 @@ func (p Params) NodesPerAccess() int { return p.Levels + 1 - p.TopCacheLevels }
 // BlocksPerAccess returns how many memory blocks one phase transfers.
 func (p Params) BlocksPerAccess() int { return p.NodesPerAccess() * p.Z }
 
-// NodeID identifies a tree node by its index in heap order: node 0 is the
-// root; the children of node n are 2n+1 and 2n+2.
-type NodeID uint64
-
-// NodeAt returns the node at the given level on the path to leaf.
-func NodeAt(level int, leaf uint64, totalLevels int) NodeID {
-	offset := leaf >> uint(totalLevels-level)
-	return NodeID((uint64(1)<<uint(level) - 1) + offset)
-}
-
-// Level returns the tree level of node n (root = 0).
-func (n NodeID) Level() int {
-	l := 0
-	for uint64(n) >= (uint64(1)<<uint(l+1))-1 {
-		l++
-	}
-	return l
-}
-
-// OffsetInLevel returns the node's position within its level.
-func (n NodeID) OffsetInLevel() uint64 {
-	l := n.Level()
-	return uint64(n) - (uint64(1)<<uint(l) - 1)
-}
-
-// PathNodes returns all node IDs on the path from the root to leaf,
-// root first.
-func PathNodes(leaf uint64, levels int) []NodeID {
-	nodes := make([]NodeID, levels+1)
-	for l := 0; l <= levels; l++ {
-		nodes[l] = NodeAt(l, leaf, levels)
-	}
-	return nodes
-}
-
-// OnPath reports whether node lies on the path to leaf.
-func OnPath(node NodeID, leaf uint64, levels int) bool {
-	return NodeAt(node.Level(), leaf, levels) == node
-}
+// NodeID, NodeAt, PathNodes and OnPath — the heap-order tree addressing —
+// live in the backend subpackage; aliases.go re-exports them.

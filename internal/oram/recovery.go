@@ -2,36 +2,8 @@ package oram
 
 import "fmt"
 
-// Mechanism names the integrity check that detected tampering.
-type Mechanism string
-
-// Integrity mechanisms.
-const (
-	// MechMAC is the per-bucket HMAC with trusted version counters.
-	MechMAC Mechanism = "mac"
-	// MechMerkle is the hash tree over bucket ciphertexts.
-	MechMerkle Mechanism = "merkle"
-	// MechChecksum is the serial-link frame CRC (package bob).
-	MechChecksum Mechanism = "checksum"
-)
-
-// ErrIntegrity reports one failed integrity verification: which tree node
-// (and level) was being authenticated and which mechanism rejected it.
-// A Merkle failure localizes only to the path, so Node is then the leaf
-// bucket of the path being verified and Level is -1.
-type ErrIntegrity struct {
-	Node      NodeID
-	Level     int
-	Mechanism Mechanism
-}
-
-func (e ErrIntegrity) Error() string {
-	if e.Level < 0 {
-		return fmt.Sprintf("oram: %s verification failed on path to node %d", e.Mechanism, e.Node)
-	}
-	return fmt.Sprintf("oram: %s verification failed at node %d (level %d)",
-		e.Mechanism, e.Node, e.Level)
-}
+// Mechanism and ErrIntegrity live in the backend subpackage (the
+// encryptors raise them); aliases.go re-exports them.
 
 // ErrSecurityAlarm is raised when an integrity failure survives the
 // bounded re-read retries: the fault is not a transient glitch but

@@ -2,6 +2,7 @@ package oram
 
 import (
 	"doram/internal/metrics"
+	"doram/internal/oram/backend"
 	"doram/internal/xrand"
 )
 
@@ -30,6 +31,15 @@ type Sampler struct {
 	havePrev bool
 	prevLeaf uint64
 	skipped  uint64
+
+	// evict mirrors the functional client's eviction-strategy seam. Only
+	// strategies that schedule extra eviction paths change the sampled
+	// stream (selection-order strategies shuffle stash contents, which a
+	// stashless sampler has none of); deterministic-two-path appends one
+	// full extra path per real access, and the timing simulator then
+	// prices that bandwidth. nil means the default single-path policy.
+	evict      backend.EvictionStrategy
+	extraPaths uint64
 }
 
 // NewSampler builds a trace sampler; it panics on invalid params, a
@@ -49,12 +59,38 @@ func (s *Sampler) Params() Params { return s.p }
 func (s *Sampler) MappedBlocks() int { return s.pos.Len() }
 
 // Access returns the trace of an access to logical block addr and remaps
-// the block.
+// the block. Strategy-scheduled extra eviction paths are merged into the
+// returned trace, exactly as the functional client merges them.
 func (s *Sampler) Access(addr uint64) Trace {
 	leaf := s.pos.Get(addr)
 	s.pos.Set(addr, s.rng.Uint64n(s.p.NumLeaves()))
-	return s.trace(leaf)
+	tr := s.trace(leaf)
+	if s.evict != nil {
+		for _, el := range s.evict.ExtraPaths(s.p.Levels) {
+			etr := s.trace(el)
+			tr.ReadNodes = append(tr.ReadNodes, etr.ReadNodes...)
+			tr.WriteNodes = append(tr.WriteNodes, etr.WriteNodes...)
+			s.extraPaths++
+		}
+	}
+	return tr
 }
+
+// SetEviction installs the named eviction strategy (see backend.Evictions;
+// "" keeps the default). For a stashless sampler only the extra-path
+// schedule matters: selection-order strategies produce the same stream.
+func (s *Sampler) SetEviction(name string) error {
+	ev, err := backend.NewEviction(name)
+	if err != nil {
+		return err
+	}
+	s.evict = ev
+	return nil
+}
+
+// ExtraEvictionPaths returns how many strategy-scheduled extra eviction
+// paths have been sampled.
+func (s *Sampler) ExtraEvictionPaths() uint64 { return s.extraPaths }
 
 // Dummy returns the trace of a dummy access to a random path.
 func (s *Sampler) Dummy() Trace {

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+
+	"doram/internal/oram/backend"
 )
 
 // Params is the canonical, JSON-serializable form of a simulation
@@ -64,6 +66,14 @@ type Params struct {
 	OverlapPhases bool `json:"overlap_phases,omitempty"`
 	DDR4          bool `json:"ddr4,omitempty"`
 	NoFastForward bool `json:"no_fast_forward,omitempty"`
+
+	// Eviction and Encryptor select the ORAM backend by registry name
+	// (internal/oram/backend). Omitted or spelled-out defaults
+	// ("level-by-level", "ctr-hmac") canonicalize to the empty string, so
+	// pre-existing spec hashes — and with them every simsvc/cluster cache
+	// key — are unchanged by the knobs' existence.
+	Eviction  string `json:"eviction,omitempty"`
+	Encryptor string `json:"encryptor,omitempty"`
 
 	LinkCorruptProb float64 `json:"link_corrupt_prob,omitempty"`
 	LinkLossProb    float64 `json:"link_loss_prob,omitempty"`
@@ -129,6 +139,12 @@ func (p Params) Canonical() Params {
 	}
 	if c.Metrics && c.MetricsEpochCycles == 0 {
 		c.MetricsEpochCycles = DefaultMetricsEpochCycles
+	}
+	if c.Eviction == backend.DefaultEviction {
+		c.Eviction = ""
+	}
+	if c.Encryptor == backend.DefaultEncryptor {
+		c.Encryptor = ""
 	}
 	if c.TraceSample > 1 || c.TraceOramOnly || c.TraceTopN > 0 {
 		c.Trace = true
@@ -226,6 +242,8 @@ func (p Params) SimConfig() SimConfig {
 		OverlapPhases:      c.OverlapPhases,
 		DDR4:               c.DDR4,
 		NoFastForward:      c.NoFastForward,
+		Eviction:           c.Eviction,
+		Encryptor:          c.Encryptor,
 		LinkCorruptProb:    c.LinkCorruptProb,
 		LinkLossProb:       c.LinkLossProb,
 		Metrics:            c.Metrics,
@@ -270,6 +288,8 @@ func ParamsFromSimConfig(c SimConfig) (Params, error) {
 		OverlapPhases:      c.OverlapPhases,
 		DDR4:               c.DDR4,
 		NoFastForward:      c.NoFastForward,
+		Eviction:           c.Eviction,
+		Encryptor:          c.Encryptor,
 		LinkCorruptProb:    c.LinkCorruptProb,
 		LinkLossProb:       c.LinkLossProb,
 		Metrics:            c.Metrics,

@@ -52,6 +52,30 @@ func TestParamsHashInvariance(t *testing.T) {
 	if c1.Hash() != c2.Hash() {
 		t.Errorf("implied observability flags changed the hash")
 	}
+
+	// Backend names: spelling out the defaults must not change the hash —
+	// pre-existing cache keys stay valid — while non-default names must.
+	d1, err := ParamsFromJSON([]byte(`{"scheme":"d-oram","benchmark":"face"}`))
+	if err != nil {
+		t.Fatalf("bare spec: %v", err)
+	}
+	d2, err := ParamsFromJSON([]byte(`{"scheme":"d-oram","benchmark":"face","eviction":"level-by-level","encryptor":"ctr-hmac"}`))
+	if err != nil {
+		t.Fatalf("default-backend spec: %v", err)
+	}
+	if d1.Hash() != d2.Hash() {
+		t.Errorf("explicit default backend names changed the hash")
+	}
+	d3, err := ParamsFromJSON([]byte(`{"scheme":"d-oram","benchmark":"face","eviction":"deterministic-two-path"}`))
+	if err != nil {
+		t.Fatalf("two-path spec: %v", err)
+	}
+	if d3.Hash() == d1.Hash() {
+		t.Errorf("non-default eviction strategy did not change the hash")
+	}
+	if _, err := ParamsFromJSON([]byte(`{"scheme":"d-oram","benchmark":"face","eviction":"bogus"}`)); err == nil {
+		t.Errorf("unknown eviction name admitted")
+	}
 }
 
 // TestParamsHashSensitivity: every knob that changes the simulation must

@@ -70,6 +70,16 @@ type SimConfig struct {
 	// OverlapPhases pipelines consecutive ORAM accesses in the SD ([39]'s
 	// read/write phase acceleration; off reproduces the paper).
 	OverlapPhases bool
+	// Eviction selects the ORAM write-back strategy by name ("" =
+	// level-by-level; see internal/oram/backend.Evictions). Strategies
+	// that schedule extra eviction paths (deterministic-two-path) change
+	// the simulated address stream; selection-only strategies matter to
+	// the functional plane.
+	Eviction string
+	// Encryptor selects the functional-plane bucket crypto by name ("" =
+	// ctr-hmac; see internal/oram/backend.Encryptors). Validated and
+	// carried in job specs; timing results do not depend on it.
+	Encryptor string
 	// DDR4 swaps DDR3-1600 for DDR4-2400 devices (bank groups).
 	DDR4 bool
 
@@ -323,6 +333,8 @@ func (cfg SimConfig) coreConfig() (core.Config, error) {
 	ic.NumS = cfg.NumS
 	ic.ForkPath = cfg.ForkPath
 	ic.OverlapPhases = cfg.OverlapPhases
+	ic.Eviction = cfg.Eviction
+	ic.Encryptor = cfg.Encryptor
 	ic.DDR4 = cfg.DDR4
 	ic.NSChannels = cfg.NSChannels
 	ic.SecureSharers = cfg.SecureSharers
